@@ -1,0 +1,10 @@
+"""Shared report printer for the benchmark harness."""
+
+from __future__ import annotations
+
+
+def report(rows):
+    """Print experiment report rows beneath the benchmark output."""
+    print()
+    for row in rows:
+        print(row)

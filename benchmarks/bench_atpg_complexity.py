@@ -1,0 +1,19 @@
+"""E11 -- Section 5: OBD ATPG has stuck-at-like computational cost."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_atpg_complexity
+
+from _report import report
+
+
+@pytest.mark.benchmark(group="atpg-complexity")
+def test_atpg_complexity_parity(benchmark):
+    result = benchmark.pedantic(run_atpg_complexity, rounds=1, iterations=1)
+    report(result.rows())
+    assert result.same_order_of_magnitude(factor=50.0)
+    for entry in result.circuits:
+        assert entry.stuck_at.aborted == 0
+        assert entry.obd.aborted == 0

@@ -1,0 +1,22 @@
+"""E9 -- Section 5: electromigration-oriented versus OBD-oriented test sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_em_comparison
+from repro.logic import GateType
+
+from _report import report
+
+
+@pytest.mark.benchmark(group="em-vs-obd")
+def test_em_vs_obd_requirements(benchmark):
+    result = benchmark.pedantic(run_em_comparison, rounds=1, iterations=1)
+    report(result.rows())
+    gaps = result.gates_where_em_misses_obd()
+    # The paper's warning: EM-driven test selection can miss OBD defects,
+    # especially for complex gates.
+    assert GateType.AOI21 in gaps or GateType.OAI21 in gaps
+    for comparison in result.comparisons.values():
+        assert len(comparison.obd_minimal) >= len(comparison.em_minimal)

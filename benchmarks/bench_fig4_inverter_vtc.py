@@ -1,0 +1,21 @@
+"""E2 -- Figure 4: inverter voltage-transfer characteristic under NMOS OBD."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BreakdownStage
+from repro.experiments import run_fig4
+
+from _report import report
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_inverter_vtc(benchmark):
+    result = benchmark.pedantic(lambda: run_fig4(points=67), rounds=1, iterations=1)
+    report(result.rows())
+    vol = result.vol_by_stage()
+    voh = result.voh_by_stage()
+    # Paper shape: VOL shifts upward with progression, VOH stays at VDD.
+    assert vol[BreakdownStage.HBD] > vol[BreakdownStage.MBD2] > vol[BreakdownStage.FAULT_FREE]
+    assert abs(voh[BreakdownStage.HBD] - voh[BreakdownStage.FAULT_FREE]) < 0.1

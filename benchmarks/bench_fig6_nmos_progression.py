@@ -1,0 +1,29 @@
+"""E3 -- Figure 6: progression of NMOS OBD for the NAND gate (waveforms/delays)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BreakdownStage
+from repro.experiments import run_fig6
+
+from _report import report
+
+STAGES = (
+    BreakdownStage.FAULT_FREE,
+    BreakdownStage.MBD1,
+    BreakdownStage.MBD2,
+    BreakdownStage.MBD3,
+    BreakdownStage.HBD,
+)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_nmos_progression(benchmark):
+    result = benchmark.pedantic(lambda: run_fig6(stages=STAGES, dt=6e-12), rounds=1, iterations=1)
+    report(result.rows())
+    assert result.monotonic_degradation()
+    # The hard breakdown must degrade by far the most (stuck or very slow).
+    hbd = result.measurements[BreakdownStage.HBD]
+    nominal = result.measurements[BreakdownStage.FAULT_FREE]
+    assert hbd.is_stuck or hbd.delay > 5.0 * nominal.delay

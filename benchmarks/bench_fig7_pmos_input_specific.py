@@ -1,0 +1,22 @@
+"""E4 -- Figure 7: input-specific detection of PMOS OBD defects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_fig7
+
+from _report import report
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_pmos_input_specificity(benchmark):
+    result = benchmark.pedantic(lambda: run_fig7(dt=6e-12), rounds=1, iterations=1)
+    report(result.rows())
+    assert result.input_specific()
+    # The excited delay must be well above the fault-free delay for both sites.
+    for site in ("PA", "PB"):
+        excited = result.excited_delay(site)
+        assert excited is None or excited > 1.5 * min(
+            m.delay for m in result.fault_free.values()
+        )

@@ -1,0 +1,32 @@
+"""E5 -- Figure 9: propagation of OBD fault effects through the full adder.
+
+Transistor-level simulation of the whole Figure-8 circuit with a single OBD
+defect injected into a mid-depth NAND gate; the ATPG-justified input sequence
+is applied at the primary inputs and the delayed transition is observed at
+the sum output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BreakdownStage
+from repro.experiments import run_fig9
+
+from _report import report
+
+#: NA and PA keep the benchmark around a minute; pass all four sites to
+#: ``run_fig9`` for the complete figure.
+SITES = ("NA", "PA")
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_full_adder_propagation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig9(sites=SITES, stage=BreakdownStage.MBD3, dt=8e-12),
+        rounds=1,
+        iterations=1,
+    )
+    report(result.rows())
+    assert set(result.cases) == set(SITES)
+    assert result.all_observable()

@@ -1,0 +1,26 @@
+"""E7 -- Section 4.3: OBD fault statistics of the full-adder sum circuit.
+
+Paper: 56 sites in 14 NAND gates, 32 testable, 18 of 72 transitions
+sufficient.  The reconstruction reports the same quantities on its netlist.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_adder_stats
+
+from _report import report
+
+
+@pytest.mark.benchmark(group="full-adder-atpg")
+def test_full_adder_obd_statistics(benchmark):
+    stats = benchmark.pedantic(run_adder_stats, rounds=1, iterations=1)
+    report(stats.rows())
+    assert stats.nand_gates == 14
+    assert stats.total_sites == 56
+    assert stats.testable + stats.untestable == 56
+    assert stats.untestable > 0
+    assert stats.compacted_test_count < stats.total_transitions
+    # ATPG and exhaustive fault simulation agree on testability.
+    assert stats.testable == stats.exhaustive_detected

@@ -1,0 +1,18 @@
+"""E6 -- Section 4.1: necessary-and-sufficient OBD test set for the NAND gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_nand_conditions
+
+from _report import report
+
+
+@pytest.mark.benchmark(group="gate-conditions")
+def test_nand_test_set_derivation(benchmark):
+    result = benchmark.pedantic(run_nand_conditions, rounds=3, iterations=1)
+    report(result.rows())
+    assert result.matches_paper_structure
+    assert result.paper_set_covers_all
+    assert result.analysis.minimal_size == 3

@@ -1,0 +1,18 @@
+"""E8 -- Section 5: necessary-and-sufficient OBD test set for the NOR gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_nor_conditions
+
+from _report import report
+
+
+@pytest.mark.benchmark(group="gate-conditions")
+def test_nor_test_set_derivation(benchmark):
+    result = benchmark.pedantic(run_nor_conditions, rounds=3, iterations=1)
+    report(result.rows())
+    assert result.matches_paper_structure
+    assert result.paper_set_covers_all
+    assert result.analysis.minimal_size == 3

@@ -1,0 +1,19 @@
+"""E10 -- Sections 3.1/4.2: breakdown progression and the detection window."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_progression_window
+
+from _report import report
+
+
+@pytest.mark.benchmark(group="progression")
+def test_detection_window_vs_slack(benchmark):
+    result = benchmark.pedantic(run_progression_window, rounds=5, iterations=1)
+    report(result.rows())
+    assert result.window_shrinks_with_slack()
+    # Every window closes at hard breakdown (27 h after SBD onset).
+    for window in result.windows.values():
+        assert window.closes_at == pytest.approx(result.model.hbd_time)

@@ -1,0 +1,53 @@
+"""E1 -- Table 1: NMOS and PMOS OBD progression (transition delays per stage).
+
+Run with ``pytest benchmarks/bench_table1.py --benchmark-only -s`` to see the
+measured table next to the paper's values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BreakdownStage
+from repro.experiments import PAPER_TABLE1_NMOS, PAPER_TABLE1_PMOS, run_table1
+
+from _report import report
+
+#: Reduced stage set keeps the benchmark under ~2 minutes while preserving
+#: the fault-free baseline, one medium stage and the terminal stage of each
+#: polarity.  Pass the full ladders to ``run_table1`` for the complete table.
+NMOS_STAGES = (
+    BreakdownStage.FAULT_FREE,
+    BreakdownStage.MBD1,
+    BreakdownStage.MBD3,
+    BreakdownStage.HBD,
+)
+PMOS_STAGES = (
+    BreakdownStage.FAULT_FREE,
+    BreakdownStage.MBD1,
+    BreakdownStage.MBD3,
+)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_obd_progression(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table1(nmos_stages=NMOS_STAGES, pmos_stages=PMOS_STAGES, dt=6e-12),
+        rounds=1,
+        iterations=1,
+    )
+    rows = result.rows()
+    rows.append("--- paper-reported entries (for comparison) ---")
+    for stage, per_seq in PAPER_TABLE1_NMOS.items():
+        rows.append(f"paper NMOS {stage.value:<10} {per_seq}")
+    for stage, per_seq in PAPER_TABLE1_PMOS.items():
+        rows.append(f"paper PMOS {stage.value:<10} {per_seq}")
+    report(rows)
+
+    # Shape assertions: monotonic NMOS degradation, PMOS input specificity.
+    na_delays = [d for d in result.nmos_delays("(01,11)", "NA") if d is not None]
+    assert all(b >= a for a, b in zip(na_delays, na_delays[1:]))
+    pa_unexcited = result.pmos_delays("(11,10)", "PA")
+    assert max(d for d in pa_unexcited if d is not None) < 2.0 * min(
+        d for d in pa_unexcited if d is not None
+    )

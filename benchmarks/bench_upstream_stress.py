@@ -1,0 +1,23 @@
+"""E12 -- Figure 2 motivation: hard breakdown stresses the upstream driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BreakdownStage
+from repro.experiments import run_upstream_stress
+
+from _report import report
+
+
+@pytest.mark.benchmark(group="upstream-stress")
+def test_upstream_driver_stress(benchmark):
+    result = benchmark.pedantic(run_upstream_stress, rounds=1, iterations=1)
+    report(result.rows())
+    assert result.current_grows_monotonically()
+    fault_free = result.supply_current[BreakdownStage.FAULT_FREE]
+    hbd = result.supply_current[BreakdownStage.HBD]
+    # Hard breakdown draws orders of magnitude more static current.
+    assert hbd > 100.0 * max(fault_free, 1e-9)
+    # ...and the defective gate's input level is visibly degraded.
+    assert result.input_level[BreakdownStage.HBD] < result.input_level[BreakdownStage.FAULT_FREE]

@@ -1,0 +1,16 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md) and prints the measured rows next to the
+paper's reported values, so running ``pytest benchmarks/ --benchmark-only -s``
+reproduces the evaluation section end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Make the sibling helper module importable regardless of how pytest set up
+# sys.path for the rootdir.
+sys.path.insert(0, os.path.dirname(__file__))

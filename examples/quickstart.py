@@ -1,0 +1,61 @@
+"""Quickstart: model an oxide-breakdown defect in a NAND gate and measure it.
+
+This walks through the paper's core experiment in a few lines:
+
+1. build the Figure-5 harness (a NAND gate driven by real gates),
+2. inject the diode-resistor breakdown model into one transistor,
+3. apply a two-pattern input sequence and measure the output delay,
+4. compare against the fault-free gate and against another (non-exciting)
+   input sequence.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro.cells import build_nand_harness, characterize_harness, default_technology
+from repro.core import BreakdownStage, OBDDefect, harness_preparer
+
+
+def measure(sequence, defect=None, label=""):
+    """Build, (optionally) break, simulate and measure one NAND harness."""
+    tech = default_technology()
+    harness = build_nand_harness(tech, sequence)
+    run = characterize_harness(
+        harness,
+        prepare=harness_preparer(defect),
+        dt=4e-12,
+        capture_window=1.5e-9,
+    )
+    print(f"  {label:<38} {run.measurement.table_entry():>8}")
+    return run.measurement
+
+
+def main() -> None:
+    print("Oxide-breakdown quickstart (Figure-5 NAND harness)")
+    print("=" * 60)
+
+    falling = ((0, 1), (1, 1))   # output falls: excites the NMOS defects
+    rising_a = ((1, 1), (0, 1))  # A switches, B held at 1: excites PA only
+    rising_b = ((1, 1), (1, 0))  # B switches, A held at 1: excites PB only
+
+    print("\nFault-free reference:")
+    measure(falling, None, "falling output (01,11)")
+    measure(rising_a, None, "rising output (11,01)")
+
+    print("\nNMOS breakdown in the transistor driven by input A (site NA):")
+    for stage in (BreakdownStage.MBD1, BreakdownStage.MBD2, BreakdownStage.HBD):
+        measure(falling, OBDDefect("NA", stage), f"(01,11) with NA at {stage.value}")
+
+    print("\nPMOS breakdown in the transistor driven by input A (site PA):")
+    print("  (only the sequence that makes PA the sole charger shows the defect)")
+    measure(rising_a, OBDDefect("PA", BreakdownStage.MBD2), "(11,01) with PA at mbd2 -- excited")
+    measure(rising_b, OBDDefect("PA", BreakdownStage.MBD2), "(11,10) with PA at mbd2 -- not excited")
+
+    print("\nDone.  See examples/concurrent_test_planning.py for the")
+    print("progression/window analysis and examples/full_adder_atpg.py for")
+    print("circuit-level test generation.")
+
+
+if __name__ == "__main__":
+    main()

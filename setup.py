@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+only so that editable installs work in offline environments that lack the
+``wheel`` package (``pip install -e . --no-build-isolation`` falls back to the
+legacy ``setup.py develop`` path through this shim).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""repro -- circuit-level modeling of gate oxide breakdown (OBD) defects.
+
+Reproduction of Carter, Ozev & Sorin, "Circuit-Level Modeling for Concurrent
+Testing of Operational Defects due to Gate Oxide Breakdown" (DATE 2005).
+
+The package is organized as a stack of substrates:
+
+``repro.spice``
+    A from-scratch MNA-based nonlinear circuit simulator (DC operating point,
+    DC sweeps, transient analysis) with Level-1 MOSFETs, diodes, resistors,
+    capacitors and independent sources.
+
+``repro.cells``
+    Transistor-level CMOS standard cells (inverter, NAND, NOR, complex gates),
+    the Figure-5 measurement harness and characterization routines.
+
+``repro.core``
+    The paper's contribution: the diode-resistor OBD defect model, its stage
+    ladder (soft / medium / hard breakdown), defect injection, temporal
+    progression and gate-level excitation / detection conditions.
+
+``repro.logic``
+    Gate-level netlists, logic simulation, the paper's full-adder sum circuit
+    and transistor-site enumeration.
+
+``repro.faults`` / ``repro.atpg``
+    Classical and OBD fault models, PODEM stuck-at ATPG, two-pattern OBD
+    ATPG, fault simulation, compaction and coverage reporting.
+
+``repro.testing``
+    Concurrent-testing support: detection window-of-opportunity analysis and
+    test-interval scheduling.
+
+``repro.experiments``
+    One module per paper table / figure, driven by the ``benchmarks/`` tree.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "spice",
+    "cells",
+    "core",
+    "logic",
+    "faults",
+    "atpg",
+    "testing",
+    "analysis",
+    "experiments",
+]

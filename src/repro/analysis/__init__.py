@@ -1,0 +1,20 @@
+"""Measurement helpers shared by the experiments: delays and VTC metrics."""
+
+from .delay import (
+    TransitionMeasurement,
+    delay_degradation,
+    measure_from_result,
+    measure_transition,
+)
+from .vtc import VtcMetrics, analyze_vtc, voh_shift, vol_shift
+
+__all__ = [
+    "TransitionMeasurement",
+    "measure_transition",
+    "measure_from_result",
+    "delay_degradation",
+    "VtcMetrics",
+    "analyze_vtc",
+    "vol_shift",
+    "voh_shift",
+]

@@ -1,0 +1,63 @@
+"""Test generation and fault simulation (stuck-at, transition, OBD)."""
+
+from .compaction import CompactionResult, compact_tests, greedy_compaction
+from .coverage import CoverageReport, coverage_from_report
+from .fault_sim import (
+    DetectionReport,
+    obd_fault_detected,
+    simulate_obd,
+    simulate_stuck_at,
+    simulate_transition,
+    simulate_with_forced_net,
+    transition_fault_detected,
+)
+from .obd_atpg import ObdAtpgSummary, ObdTestResult, generate_obd_test, run_obd_atpg
+from .podem import PodemOptions, PodemResult, generate_stuck_at_test, justify
+from .random_tpg import (
+    exhaustive_pairs,
+    exhaustive_patterns,
+    random_pairs,
+    random_patterns,
+    single_input_change_pairs,
+)
+from .two_pattern import TwoPatternResult, TwoPatternTest, generate_transition_test
+from .values import DBAR, D, LogicValue, ONE, X, ZERO, evaluate_gate_values, from_bit
+
+__all__ = [
+    "LogicValue",
+    "ZERO",
+    "ONE",
+    "X",
+    "D",
+    "DBAR",
+    "from_bit",
+    "evaluate_gate_values",
+    "PodemOptions",
+    "PodemResult",
+    "generate_stuck_at_test",
+    "justify",
+    "TwoPatternTest",
+    "TwoPatternResult",
+    "generate_transition_test",
+    "ObdTestResult",
+    "ObdAtpgSummary",
+    "generate_obd_test",
+    "run_obd_atpg",
+    "DetectionReport",
+    "simulate_stuck_at",
+    "simulate_transition",
+    "simulate_obd",
+    "simulate_with_forced_net",
+    "transition_fault_detected",
+    "obd_fault_detected",
+    "exhaustive_patterns",
+    "exhaustive_pairs",
+    "random_patterns",
+    "random_pairs",
+    "single_input_change_pairs",
+    "greedy_compaction",
+    "compact_tests",
+    "CompactionResult",
+    "CoverageReport",
+    "coverage_from_report",
+]

@@ -1,0 +1,67 @@
+"""Static test-set compaction (greedy set cover).
+
+Used to reproduce the Section-4.3 statistic that a small subset of the
+possible input transitions (the paper quotes 18) suffices to detect every
+testable OBD fault of the full-adder example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .fault_sim import DetectionReport
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """A compacted test subset and what it covers."""
+
+    selected_indices: tuple[int, ...]
+    covered_faults: tuple[str, ...]
+    uncovered_faults: tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.selected_indices)
+
+
+def greedy_compaction(report: DetectionReport) -> CompactionResult:
+    """Greedy minimum-cover selection of tests from a detection report.
+
+    Repeatedly picks the test detecting the largest number of still-uncovered
+    faults.  Faults never detected by any test are reported as uncovered.
+    """
+    detectable = {key for key, tests in report.detections.items() if tests}
+    fault_sets: dict[int, set[str]] = {}
+    for key, tests in report.detections.items():
+        for index in tests:
+            fault_sets.setdefault(index, set()).add(key)
+
+    uncovered = set(detectable)
+    selected: list[int] = []
+    while uncovered:
+        best_index, best_gain = None, 0
+        for index, faults in fault_sets.items():
+            if index in selected:
+                continue
+            gain = len(faults & uncovered)
+            if gain > best_gain or (gain == best_gain and best_index is not None and index < best_index and gain > 0):
+                best_index, best_gain = index, gain
+        if best_index is None or best_gain == 0:
+            break
+        selected.append(best_index)
+        uncovered -= fault_sets[best_index]
+
+    never_detected = tuple(sorted(set(report.detections) - detectable))
+    return CompactionResult(
+        selected_indices=tuple(selected),
+        covered_faults=tuple(sorted(detectable - uncovered)),
+        uncovered_faults=tuple(sorted(uncovered | set(never_detected))),
+    )
+
+
+def compact_tests(report: DetectionReport, tests: Sequence) -> tuple[list, CompactionResult]:
+    """Return the compacted subset of *tests* plus the compaction record."""
+    result = greedy_compaction(report)
+    return [tests[i] for i in result.selected_indices], result

@@ -1,0 +1,75 @@
+"""Two-pattern (launch/capture) test generation for transition faults.
+
+A transition fault test is a pair of patterns: the first sets the fault net
+to its pre-transition value, the second both launches the opposite value and
+propagates the (slow) transition to a primary output -- the latter is exactly
+a stuck-at test for the pre-transition value at the fault net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..faults.stuck_at import StuckAtFault
+from ..faults.transition import TransitionFault
+from ..logic.netlist import LogicCircuit
+from .podem import PodemOptions, PodemResult, generate_stuck_at_test, justify
+
+
+@dataclass(frozen=True)
+class TwoPatternTest:
+    """A launch/capture pattern pair for a delay-type fault."""
+
+    first: tuple[int, ...]
+    second: tuple[int, ...]
+
+    def as_dicts(self, circuit: LogicCircuit) -> tuple[dict[str, int], dict[str, int]]:
+        inputs = circuit.primary_inputs
+        return dict(zip(inputs, self.first)), dict(zip(inputs, self.second))
+
+
+@dataclass
+class TwoPatternResult:
+    """Outcome of two-pattern test generation for one fault."""
+
+    success: bool
+    test: Optional[TwoPatternTest]
+    backtracks: int
+    aborted: bool = False
+
+    @property
+    def untestable(self) -> bool:
+        return not self.success and not self.aborted
+
+
+def _pattern_tuple(circuit: LogicCircuit, pattern: dict[str, int]) -> tuple[int, ...]:
+    return tuple(pattern[n] for n in circuit.primary_inputs)
+
+
+def generate_transition_test(
+    circuit: LogicCircuit,
+    fault: TransitionFault,
+    options: PodemOptions | None = None,
+) -> TwoPatternResult:
+    """Generate a two-pattern test for a slow-to-rise / slow-to-fall fault."""
+    options = options or PodemOptions()
+
+    # Capture pattern: detect "net stuck at the pre-transition value".
+    capture = generate_stuck_at_test(
+        circuit, StuckAtFault(fault.net, fault.launch_value), options=options
+    )
+    if not capture.success:
+        return TwoPatternResult(False, None, capture.backtracks, aborted=capture.aborted)
+
+    # Launch pattern: justify the pre-transition value at the fault net.
+    launch = justify(circuit, {fault.net: fault.launch_value}, options=options)
+    backtracks = capture.backtracks + launch.backtracks
+    if not launch.success:
+        return TwoPatternResult(False, None, backtracks, aborted=launch.aborted)
+
+    test = TwoPatternTest(
+        first=_pattern_tuple(circuit, launch.pattern),
+        second=_pattern_tuple(circuit, capture.pattern),
+    )
+    return TwoPatternResult(True, test, backtracks)

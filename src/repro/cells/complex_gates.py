@@ -1,0 +1,124 @@
+"""Complex static CMOS gates: AOI21 and OAI21.
+
+Section 5 of the paper notes that the electromigration-oriented test inputs
+that happen to cover OBD defects in simple NAND gates "may not always be
+true, especially for complex gates".  These two cells give the excitation
+analysis and the ATPG engine complex-gate structures (mixed series/parallel
+networks) to exercise that claim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..spice.netlist import Circuit
+from .builder import CellInstance, TransistorSite, add_transistor, register_cell
+from .technology import Technology
+
+
+def add_aoi21(
+    circuit: Circuit,
+    tech: Technology,
+    name: str,
+    inputs: Sequence[str],
+    output: str,
+    vdd: str = "vdd",
+    gnd: str = "0",
+    width_scale: float = 1.0,
+) -> CellInstance:
+    """AND-OR-INVERT: ``out = not((A and B) or C)``.
+
+    Pull-down: (A series B) in parallel with C.
+    Pull-up: (A parallel B) in series with C.
+    """
+    if len(inputs) != 3:
+        raise ValueError(f"AOI21 {name!r} takes 3 inputs (A, B, C)")
+    a, b, c = inputs
+    mid_n = f"{name}.nmid"
+    mid_p = f"{name}.pmid"
+    series_scale = width_scale * tech.series_width_factor
+
+    # Pull-down network.
+    add_transistor(circuit, tech, f"{name}.mn_a", "n", output, a, mid_n, gnd, series_scale)
+    add_transistor(circuit, tech, f"{name}.mn_b", "n", mid_n, b, gnd, gnd, series_scale)
+    add_transistor(circuit, tech, f"{name}.mn_c", "n", output, c, gnd, gnd, width_scale)
+
+    # Pull-up network.
+    add_transistor(circuit, tech, f"{name}.mp_a", "p", mid_p, a, vdd, vdd, width_scale)
+    add_transistor(circuit, tech, f"{name}.mp_b", "p", mid_p, b, vdd, vdd, width_scale)
+    add_transistor(circuit, tech, f"{name}.mp_c", "p", output, c, mid_p, vdd, series_scale)
+
+    transistors = [
+        TransistorSite(f"{name}.mn_a", "n", "A", output, a, mid_n, gnd, "pull_down"),
+        TransistorSite(f"{name}.mn_b", "n", "B", mid_n, b, gnd, gnd, "pull_down"),
+        TransistorSite(f"{name}.mn_c", "n", "C", output, c, gnd, gnd, "pull_down"),
+        TransistorSite(f"{name}.mp_a", "p", "A", mid_p, a, vdd, vdd, "pull_up"),
+        TransistorSite(f"{name}.mp_b", "p", "B", mid_p, b, vdd, vdd, "pull_up"),
+        TransistorSite(f"{name}.mp_c", "p", "C", output, c, mid_p, vdd, "pull_up"),
+    ]
+    return CellInstance(
+        name=name,
+        cell_type="AOI21",
+        inputs={"A": a, "B": b, "C": c},
+        output=output,
+        vdd=vdd,
+        gnd=gnd,
+        transistors=transistors,
+        internal_nodes=[mid_n, mid_p],
+    )
+
+
+def add_oai21(
+    circuit: Circuit,
+    tech: Technology,
+    name: str,
+    inputs: Sequence[str],
+    output: str,
+    vdd: str = "vdd",
+    gnd: str = "0",
+    width_scale: float = 1.0,
+) -> CellInstance:
+    """OR-AND-INVERT: ``out = not((A or B) and C)``.
+
+    Pull-down: (A parallel B) in series with C.
+    Pull-up: (A series B) in parallel with C.
+    """
+    if len(inputs) != 3:
+        raise ValueError(f"OAI21 {name!r} takes 3 inputs (A, B, C)")
+    a, b, c = inputs
+    mid_n = f"{name}.nmid"
+    mid_p = f"{name}.pmid"
+    series_scale = width_scale * tech.series_width_factor
+
+    # Pull-down network.
+    add_transistor(circuit, tech, f"{name}.mn_a", "n", output, a, mid_n, gnd, series_scale)
+    add_transistor(circuit, tech, f"{name}.mn_b", "n", output, b, mid_n, gnd, series_scale)
+    add_transistor(circuit, tech, f"{name}.mn_c", "n", mid_n, c, gnd, gnd, series_scale)
+
+    # Pull-up network.
+    add_transistor(circuit, tech, f"{name}.mp_a", "p", mid_p, a, vdd, vdd, series_scale)
+    add_transistor(circuit, tech, f"{name}.mp_b", "p", output, b, mid_p, vdd, series_scale)
+    add_transistor(circuit, tech, f"{name}.mp_c", "p", output, c, vdd, vdd, width_scale)
+
+    transistors = [
+        TransistorSite(f"{name}.mn_a", "n", "A", output, a, mid_n, gnd, "pull_down"),
+        TransistorSite(f"{name}.mn_b", "n", "B", output, b, mid_n, gnd, "pull_down"),
+        TransistorSite(f"{name}.mn_c", "n", "C", mid_n, c, gnd, gnd, "pull_down"),
+        TransistorSite(f"{name}.mp_a", "p", "A", mid_p, a, vdd, vdd, "pull_up"),
+        TransistorSite(f"{name}.mp_b", "p", "B", output, b, mid_p, vdd, "pull_up"),
+        TransistorSite(f"{name}.mp_c", "p", "C", output, c, vdd, vdd, "pull_up"),
+    ]
+    return CellInstance(
+        name=name,
+        cell_type="OAI21",
+        inputs={"A": a, "B": b, "C": c},
+        output=output,
+        vdd=vdd,
+        gnd=gnd,
+        transistors=transistors,
+        internal_nodes=[mid_n, mid_p],
+    )
+
+
+register_cell("AOI21", add_aoi21)
+register_cell("OAI21", add_oai21)

@@ -1,0 +1,234 @@
+"""Measurement harnesses for transistor-level gate experiments.
+
+The central fixture is the set-up of Figure 5 in the paper: the gate under
+test must be *driven by other gates* (not by ideal voltage sources), because
+the oxide-breakdown leakage path loads its driver and degrades the voltage at
+the defective transistor's gate.  The harness therefore inserts an inverter
+between each primary stimulus source and the corresponding input of the gate
+under test, and loads the gate output with a two-inverter chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..logic.gates import GateType, evaluate_gate
+from ..spice.elements import PiecewiseLinearWaveform
+from ..spice.netlist import Circuit
+from .builder import CellInstance, build_cell, pin_names
+from .inverter import add_inverter
+from .technology import Technology
+
+#: Two input patterns applied back to back, e.g. ``((0, 1), (1, 1))`` for the
+#: paper's (01, 11) sequence on a 2-input gate.
+TwoPatternSequence = tuple[tuple[int, ...], tuple[int, ...]]
+
+
+@dataclass
+class GateHarness:
+    """A gate under test embedded between real drivers and a real load."""
+
+    circuit: Circuit
+    tech: Technology
+    dut: CellInstance
+    gate_type: GateType
+    sequence: TwoPatternSequence
+    #: Node names of the DUT inputs, keyed by logical pin (A, B, ...).
+    input_nodes: dict[str, str]
+    #: Node names of the primary stimulus sources, keyed by logical pin.
+    primary_nodes: dict[str, str]
+    output_node: str
+    launch_time: float
+    transition_time: float
+    t_stop: float
+    load_nodes: list[str] = field(default_factory=list)
+
+    @property
+    def expected_outputs(self) -> tuple[int, int]:
+        """Expected Boolean output for the initial and final pattern."""
+        v1, v2 = self.sequence
+        return (
+            evaluate_gate(self.gate_type, v1),
+            evaluate_gate(self.gate_type, v2),
+        )
+
+    @property
+    def switching_pins(self) -> list[str]:
+        """Logical pins whose value differs between the two patterns."""
+        v1, v2 = self.sequence
+        pins = pin_names(len(v1))
+        return [pin for pin, b1, b2 in zip(pins, v1, v2) if b1 != b2]
+
+    def pin_edge(self, pin: str) -> str | None:
+        """Direction of the DUT-input edge on *pin*: 'rising', 'falling', None."""
+        v1, v2 = self.sequence
+        pins = pin_names(len(v1))
+        index = pins.index(pin)
+        if v1[index] == v2[index]:
+            return None
+        return "rising" if v2[index] > v1[index] else "falling"
+
+    @property
+    def output_edge(self) -> str | None:
+        """Expected output edge direction, or None when the output holds."""
+        out1, out2 = self.expected_outputs
+        if out1 == out2:
+            return None
+        return "rising" if out2 > out1 else "falling"
+
+
+def validate_sequence(gate_type: GateType | str, sequence: TwoPatternSequence) -> GateType:
+    """Check a two-pattern sequence against the gate's input count."""
+    gate_type = GateType(gate_type)
+    v1, v2 = sequence
+    if len(v1) != gate_type.num_inputs or len(v2) != gate_type.num_inputs:
+        raise ValueError(
+            f"sequence {sequence!r} does not match the {gate_type.num_inputs} inputs "
+            f"of {gate_type.value}"
+        )
+    for bits in (v1, v2):
+        if any(b not in (0, 1) for b in bits):
+            raise ValueError(f"sequence patterns must contain 0/1 bits: {sequence!r}")
+    return gate_type
+
+
+def build_gate_harness(
+    tech: Technology,
+    gate_type: GateType | str,
+    sequence: TwoPatternSequence,
+    launch_time: float = 2e-9,
+    transition_time: float = 50e-12,
+    observation_window: float = 3e-9,
+    driver_scale: float = 1.0,
+    dut_scale: float = 1.0,
+    load_stages: int = 2,
+) -> GateHarness:
+    """Build the Figure-5 style harness around a gate of the given type.
+
+    Parameters
+    ----------
+    tech:
+        Technology used for every device in the harness.
+    gate_type:
+        Cell type of the device under test (``NAND2``, ``NOR2``, ``INV``,
+        ``AOI21``, ``OAI21``).
+    sequence:
+        Two-pattern stimulus applied at the *DUT inputs* (the harness
+        compensates for the inverting drivers internally).
+    launch_time:
+        Time at which the second pattern is launched.
+    transition_time:
+        Primary-source edge ramp time.
+    observation_window:
+        How long after the launch the simulation keeps running.
+    driver_scale / dut_scale:
+        Width scale factors for the driver inverters and the DUT.
+    load_stages:
+        Number of inverters in the output load chain (>= 1).
+    """
+    gate_type = validate_sequence(gate_type, sequence)
+    if load_stages < 1:
+        raise ValueError("load_stages must be >= 1")
+    v1, v2 = sequence
+    n = gate_type.num_inputs
+    pins = pin_names(n)
+    vdd = tech.vdd
+    t_stop = launch_time + observation_window
+
+    circuit = Circuit(f"harness-{gate_type.value}")
+    circuit.add_voltage_source("vdd", "vdd", "0", dc=vdd)
+
+    input_nodes: dict[str, str] = {}
+    primary_nodes: dict[str, str] = {}
+    for pin, bit1, bit2 in zip(pins, v1, v2):
+        primary = f"p{pin.lower()}"
+        dut_input = f"in_{pin.lower()}"
+        primary_nodes[pin] = primary
+        input_nodes[pin] = dut_input
+        # The driver inverter flips the stimulus, so the primary source must
+        # apply the complement of the wanted DUT-input value.
+        level1 = tech.logic_level(1 - bit1)
+        level2 = tech.logic_level(1 - bit2)
+        waveform = PiecewiseLinearWaveform(
+            [
+                (0.0, level1),
+                (launch_time, level1),
+                (launch_time + transition_time, level2),
+                (t_stop, level2),
+            ]
+        )
+        circuit.add_voltage_source(f"v{pin.lower()}", primary, "0", waveform=waveform)
+        add_inverter(
+            circuit,
+            tech,
+            f"drv_{pin.lower()}",
+            [primary],
+            dut_input,
+            vdd="vdd",
+            gnd="0",
+            width_scale=driver_scale,
+        )
+
+    output_node = "out"
+    dut = build_cell(
+        circuit,
+        tech,
+        gate_type.value,
+        "dut",
+        [input_nodes[p] for p in pins],
+        output_node,
+        vdd="vdd",
+        gnd="0",
+        width_scale=dut_scale,
+    )
+
+    load_nodes: list[str] = []
+    previous = output_node
+    for stage in range(load_stages):
+        load_out = f"load{stage + 1}"
+        add_inverter(circuit, tech, f"load_{stage + 1}", [previous], load_out, vdd="vdd", gnd="0")
+        load_nodes.append(load_out)
+        previous = load_out
+
+    return GateHarness(
+        circuit=circuit,
+        tech=tech,
+        dut=dut,
+        gate_type=gate_type,
+        sequence=(tuple(v1), tuple(v2)),
+        input_nodes=input_nodes,
+        primary_nodes=primary_nodes,
+        output_node=output_node,
+        launch_time=launch_time,
+        transition_time=transition_time,
+        t_stop=t_stop,
+        load_nodes=load_nodes,
+    )
+
+
+def build_nand_harness(
+    tech: Technology,
+    sequence: TwoPatternSequence,
+    **kwargs,
+) -> GateHarness:
+    """The exact Figure-5 set-up: a 2-input NAND between drivers and a load."""
+    return build_gate_harness(tech, GateType.NAND2, sequence, **kwargs)
+
+
+def build_inverter_dc_circuit(
+    tech: Technology,
+    input_node: str = "in",
+    output_node: str = "out",
+) -> tuple[Circuit, CellInstance]:
+    """Inverter driven by a DC source, for voltage-transfer-curve sweeps.
+
+    This is the Figure-4 set-up: the static transfer characteristic only
+    needs an ideal source at the input (the dynamic loading argument of
+    Figure 5 does not apply to a DC sweep).
+    """
+    circuit = Circuit("inverter-vtc")
+    circuit.add_voltage_source("vdd", "vdd", "0", dc=tech.vdd)
+    circuit.add_voltage_source("vin", input_node, "0", dc=0.0)
+    cell = add_inverter(circuit, tech, "dut", [input_node], output_node, vdd="vdd", gnd="0")
+    return circuit, cell

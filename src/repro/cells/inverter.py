@@ -1,0 +1,48 @@
+"""Static CMOS inverter cell."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..spice.netlist import Circuit
+from .builder import CellInstance, TransistorSite, add_transistor, register_cell
+from .technology import Technology
+
+
+def add_inverter(
+    circuit: Circuit,
+    tech: Technology,
+    name: str,
+    inputs: Sequence[str],
+    output: str,
+    vdd: str = "vdd",
+    gnd: str = "0",
+    width_scale: float = 1.0,
+) -> CellInstance:
+    """Add a CMOS inverter: one PMOS (site ``PA``) and one NMOS (site ``NA``)."""
+    if len(inputs) != 1:
+        raise ValueError(f"inverter {name!r} takes exactly one input, got {len(inputs)}")
+    (in_node,) = inputs
+
+    pmos_name = f"{name}.mp_a"
+    nmos_name = f"{name}.mn_a"
+    add_transistor(circuit, tech, pmos_name, "p", output, in_node, vdd, vdd, width_scale)
+    add_transistor(circuit, tech, nmos_name, "n", output, in_node, gnd, gnd, width_scale)
+
+    transistors = [
+        TransistorSite(pmos_name, "p", "A", output, in_node, vdd, vdd, "pull_up"),
+        TransistorSite(nmos_name, "n", "A", output, in_node, gnd, gnd, "pull_down"),
+    ]
+    return CellInstance(
+        name=name,
+        cell_type="INV",
+        inputs={"A": in_node},
+        output=output,
+        vdd=vdd,
+        gnd=gnd,
+        transistors=transistors,
+    )
+
+
+register_cell("INV", add_inverter)
+register_cell("NOT", add_inverter)

@@ -1,0 +1,77 @@
+"""Static CMOS NAND cells (2- and 3-input).
+
+The 2-input NAND is the paper's main vehicle: its four transistors are the
+defect sites ``NA``, ``NB`` (series pull-down) and ``PA``, ``PB`` (parallel
+pull-up) referenced throughout Table 1 and Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..spice.netlist import Circuit
+from .builder import CellInstance, TransistorSite, add_transistor, pin_names, register_cell
+from .technology import Technology
+
+
+def add_nand(
+    circuit: Circuit,
+    tech: Technology,
+    name: str,
+    inputs: Sequence[str],
+    output: str,
+    vdd: str = "vdd",
+    gnd: str = "0",
+    width_scale: float = 1.0,
+) -> CellInstance:
+    """Add an N-input CMOS NAND gate (N = 2 or 3).
+
+    Pull-up: one PMOS per input, all in parallel between ``vdd`` and the
+    output.  Pull-down: a series chain of NMOS devices from the output to
+    ground; the device driven by pin A is adjacent to the output, matching
+    the schematic of Figure 5 in the paper.
+    """
+    n = len(inputs)
+    if n < 2 or n > 3:
+        raise ValueError(f"NAND {name!r}: supported input counts are 2 and 3, got {n}")
+    pins = pin_names(n)
+    transistors: list[TransistorSite] = []
+    internal: list[str] = []
+
+    # Parallel PMOS pull-up network.
+    for pin, node in zip(pins, inputs):
+        mname = f"{name}.mp_{pin.lower()}"
+        add_transistor(circuit, tech, mname, "p", output, node, vdd, vdd, width_scale)
+        transistors.append(TransistorSite(mname, "p", pin, output, node, vdd, vdd, "pull_up"))
+
+    # Series NMOS pull-down chain: output -> mid1 -> (mid2 ->) gnd.
+    chain_nodes = [output]
+    for i in range(1, n):
+        mid = f"{name}.mid{i}"
+        chain_nodes.append(mid)
+        internal.append(mid)
+    chain_nodes.append(gnd)
+
+    series_scale = width_scale * tech.series_width_factor
+    for i, (pin, node) in enumerate(zip(pins, inputs)):
+        drain = chain_nodes[i]
+        source = chain_nodes[i + 1]
+        mname = f"{name}.mn_{pin.lower()}"
+        add_transistor(circuit, tech, mname, "n", drain, node, source, gnd, series_scale)
+        transistors.append(TransistorSite(mname, "n", pin, drain, node, source, gnd, "pull_down"))
+
+    return CellInstance(
+        name=name,
+        cell_type=f"NAND{n}",
+        inputs=dict(zip(pins, inputs)),
+        output=output,
+        vdd=vdd,
+        gnd=gnd,
+        transistors=transistors,
+        internal_nodes=internal,
+    )
+
+
+register_cell("NAND2", add_nand)
+register_cell("NAND3", add_nand)
+register_cell("NAND", add_nand)

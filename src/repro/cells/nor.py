@@ -1,0 +1,76 @@
+"""Static CMOS NOR cells (2- and 3-input).
+
+Used by the Section-5 generalization: for a NOR gate, the roles of the NMOS
+and PMOS networks are exchanged with respect to the NAND, so it is the NMOS
+OBD defects that become input specific.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..spice.netlist import Circuit
+from .builder import CellInstance, TransistorSite, add_transistor, pin_names, register_cell
+from .technology import Technology
+
+
+def add_nor(
+    circuit: Circuit,
+    tech: Technology,
+    name: str,
+    inputs: Sequence[str],
+    output: str,
+    vdd: str = "vdd",
+    gnd: str = "0",
+    width_scale: float = 1.0,
+) -> CellInstance:
+    """Add an N-input CMOS NOR gate (N = 2 or 3).
+
+    Pull-up: a series chain of PMOS devices from ``vdd`` to the output (the
+    device driven by pin A is adjacent to ``vdd``).  Pull-down: one NMOS per
+    input, all in parallel between the output and ground.
+    """
+    n = len(inputs)
+    if n < 2 or n > 3:
+        raise ValueError(f"NOR {name!r}: supported input counts are 2 and 3, got {n}")
+    pins = pin_names(n)
+    transistors: list[TransistorSite] = []
+    internal: list[str] = []
+
+    # Series PMOS pull-up chain: vdd -> mid1 -> (mid2 ->) output.
+    chain_nodes = [vdd]
+    for i in range(1, n):
+        mid = f"{name}.mid{i}"
+        chain_nodes.append(mid)
+        internal.append(mid)
+    chain_nodes.append(output)
+
+    series_scale = width_scale * tech.series_width_factor
+    for i, (pin, node) in enumerate(zip(pins, inputs)):
+        source = chain_nodes[i]
+        drain = chain_nodes[i + 1]
+        mname = f"{name}.mp_{pin.lower()}"
+        add_transistor(circuit, tech, mname, "p", drain, node, source, vdd, series_scale)
+        transistors.append(TransistorSite(mname, "p", pin, drain, node, source, vdd, "pull_up"))
+
+    # Parallel NMOS pull-down network.
+    for pin, node in zip(pins, inputs):
+        mname = f"{name}.mn_{pin.lower()}"
+        add_transistor(circuit, tech, mname, "n", output, node, gnd, gnd, width_scale)
+        transistors.append(TransistorSite(mname, "n", pin, output, node, gnd, gnd, "pull_down"))
+
+    return CellInstance(
+        name=name,
+        cell_type=f"NOR{n}",
+        inputs=dict(zip(pins, inputs)),
+        output=output,
+        vdd=vdd,
+        gnd=gnd,
+        transistors=transistors,
+        internal_nodes=internal,
+    )
+
+
+register_cell("NOR2", add_nor)
+register_cell("NOR3", add_nor)
+register_cell("NOR", add_nor)

@@ -1,0 +1,139 @@
+"""Experiment E11: ATPG complexity parity (Section 5).
+
+"For combinational circuits, test pattern generation for OBD defects is of
+the same computational complexity as for stuck-at faults."  The experiment
+runs stuck-at PODEM and OBD two-pattern ATPG over the same circuits and
+compares fault counts, backtracks and wall-clock time per fault.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..atpg.obd_atpg import run_obd_atpg
+from ..atpg.podem import generate_stuck_at_test
+from ..faults.obd import obd_fault_universe
+from ..faults.stuck_at import stuck_at_universe
+from ..logic.circuits import c17, full_adder, full_adder_sum, ripple_carry_adder
+from ..logic.netlist import LogicCircuit
+
+
+@dataclass
+class AtpgRunStats:
+    """Aggregate ATPG statistics for one fault model on one circuit."""
+
+    model: str
+    faults: int
+    testable: int
+    untestable: int
+    aborted: int
+    backtracks: int
+    runtime: float
+
+    @property
+    def runtime_per_fault(self) -> float:
+        return self.runtime / self.faults if self.faults else 0.0
+
+
+@dataclass
+class CircuitComplexityResult:
+    """Stuck-at versus OBD ATPG on one circuit."""
+
+    circuit_name: str
+    gate_count: int
+    stuck_at: AtpgRunStats
+    obd: AtpgRunStats
+
+    @property
+    def runtime_ratio(self) -> float:
+        """OBD runtime-per-fault divided by stuck-at runtime-per-fault."""
+        if self.stuck_at.runtime_per_fault == 0.0:
+            return float("inf")
+        return self.obd.runtime_per_fault / self.stuck_at.runtime_per_fault
+
+
+@dataclass
+class AtpgComplexityResult:
+    """Comparison across a set of circuits."""
+
+    circuits: list[CircuitComplexityResult]
+
+    def rows(self) -> list[str]:
+        lines = ["=== Section 5 reproduction: ATPG complexity, stuck-at vs OBD ==="]
+        lines.append(
+            f"{'circuit':<12} {'gates':>6} {'SA faults':>10} {'SA ms/fault':>12} "
+            f"{'OBD faults':>11} {'OBD ms/fault':>13} {'ratio':>7}"
+        )
+        for entry in self.circuits:
+            lines.append(
+                f"{entry.circuit_name:<12} {entry.gate_count:>6} "
+                f"{entry.stuck_at.faults:>10} {entry.stuck_at.runtime_per_fault * 1e3:>12.3f} "
+                f"{entry.obd.faults:>11} {entry.obd.runtime_per_fault * 1e3:>13.3f} "
+                f"{entry.runtime_ratio:>7.2f}"
+            )
+        return lines
+
+    def same_order_of_magnitude(self, factor: float = 30.0) -> bool:
+        """OBD per-fault cost stays within *factor* of the stuck-at cost."""
+        return all(entry.runtime_ratio <= factor for entry in self.circuits)
+
+
+DEFAULT_CIRCUITS: tuple[Callable[[], LogicCircuit], ...] = (
+    c17,
+    full_adder_sum,
+    full_adder,
+    lambda: ripple_carry_adder(4),
+)
+
+
+def _run_stuck_at(circuit: LogicCircuit) -> AtpgRunStats:
+    faults = list(stuck_at_universe(circuit))
+    start = time.perf_counter()
+    testable = untestable = aborted = backtracks = 0
+    for fault in faults:
+        result = generate_stuck_at_test(circuit, fault)
+        backtracks += result.backtracks
+        if result.success:
+            testable += 1
+        elif result.aborted:
+            aborted += 1
+        else:
+            untestable += 1
+    runtime = time.perf_counter() - start
+    return AtpgRunStats("stuck-at", len(faults), testable, untestable, aborted, backtracks, runtime)
+
+
+def _run_obd(circuit: LogicCircuit) -> AtpgRunStats:
+    faults = list(obd_fault_universe(circuit))
+    start = time.perf_counter()
+    summary = run_obd_atpg(circuit, faults)
+    runtime = time.perf_counter() - start
+    return AtpgRunStats(
+        "obd",
+        summary.total,
+        len(summary.testable),
+        len(summary.untestable),
+        len(summary.aborted),
+        summary.backtracks,
+        runtime,
+    )
+
+
+def run_atpg_complexity(
+    circuit_factories: Sequence[Callable[[], LogicCircuit]] = DEFAULT_CIRCUITS,
+) -> AtpgComplexityResult:
+    """Compare stuck-at and OBD ATPG cost across the benchmark circuits."""
+    results = []
+    for factory in circuit_factories:
+        circuit = factory()
+        results.append(
+            CircuitComplexityResult(
+                circuit_name=circuit.name,
+                gate_count=len(circuit),
+                stuck_at=_run_stuck_at(circuit),
+                obd=_run_obd(circuit),
+            )
+        )
+    return AtpgComplexityResult(circuits=results)

@@ -1,0 +1,86 @@
+"""Experiment E2: Figure 4 -- inverter VTC under NMOS oxide breakdown.
+
+DC-sweep the inverter input from 0 to VDD for the fault-free device and for
+soft, medium and hard NMOS breakdown; the paper's observation is that the
+output-low level (VOL) shifts upward with progression while VOH is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.vtc import VtcMetrics, analyze_vtc
+from ..cells.fixtures import build_inverter_dc_circuit
+from ..cells.technology import Technology, default_technology
+from ..core.breakdown import BreakdownStage
+from ..core.defect import OBDDefect
+from ..core.injection import inject_into_cell
+from ..spice.analysis.dc_sweep import dc_sweep
+from ..spice.waveform import Waveform
+
+#: The four curves shown in Figure 4.
+FIGURE4_STAGES = (
+    BreakdownStage.FAULT_FREE,
+    BreakdownStage.SBD,
+    BreakdownStage.MBD2,
+    BreakdownStage.HBD,
+)
+
+
+@dataclass
+class Fig4Result:
+    """Transfer curves and metrics per breakdown stage."""
+
+    tech_name: str
+    curves: dict[BreakdownStage, Waveform]
+    metrics: dict[BreakdownStage, VtcMetrics]
+    polarity: str = "n"
+
+    def vol_by_stage(self) -> dict[BreakdownStage, float]:
+        return {stage: m.vol for stage, m in self.metrics.items()}
+
+    def voh_by_stage(self) -> dict[BreakdownStage, float]:
+        return {stage: m.voh for stage, m in self.metrics.items()}
+
+    def rows(self) -> list[str]:
+        lines = ["=== Figure 4 reproduction: inverter VTC under NMOS OBD ==="]
+        lines.append(f"{'stage':<12} {'VOL (V)':>9} {'VOH (V)':>9} {'Vth (V)':>9}")
+        for stage, metrics in self.metrics.items():
+            threshold = metrics.switching_threshold
+            lines.append(
+                f"{stage.value:<12} {metrics.vol:>9.3f} {metrics.voh:>9.3f} "
+                f"{threshold if threshold is None else round(threshold, 3)!s:>9}"
+            )
+        return lines
+
+
+def run_fig4(
+    tech: Technology | None = None,
+    stages: Sequence[BreakdownStage] = FIGURE4_STAGES,
+    polarity: str = "n",
+    points: int = 67,
+) -> Fig4Result:
+    """Sweep the inverter VTC for each breakdown stage.
+
+    ``polarity`` selects whether the defect sits in the NMOS (Figure 4 of the
+    paper) or the PMOS (the paper's text notes the dual effect on VOH).
+    """
+    tech = tech or default_technology()
+    curves: dict[BreakdownStage, Waveform] = {}
+    metrics: dict[BreakdownStage, VtcMetrics] = {}
+    site = "NA" if polarity == "n" else "PA"
+    sweep_values = np.linspace(0.0, tech.vdd, points)
+
+    for stage in stages:
+        circuit, cell = build_inverter_dc_circuit(tech)
+        if stage != BreakdownStage.FAULT_FREE:
+            inject_into_cell(circuit, cell, OBDDefect(site=site, stage=stage))
+        result = dc_sweep(circuit, "vin", sweep_values, record_nodes=["out"])
+        curve = result.transfer_curve("out")
+        curves[stage] = curve
+        metrics[stage] = analyze_vtc(curve, tech.vdd)
+
+    return Fig4Result(tech_name=tech.name, curves=curves, metrics=metrics, polarity=polarity)

@@ -1,0 +1,67 @@
+"""Fault abstractions shared by the classical and OBD fault models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Iterable, Iterator, TypeVar
+
+
+class Fault:
+    """Base class for all fault objects.
+
+    Every fault exposes a stable ``key`` used in detection dictionaries and
+    reports, and a human-readable ``describe()``.
+    """
+
+    @property
+    def key(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.key
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.key))
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.key == other.key  # type: ignore[attr-defined]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} {self.key}>"
+
+
+F = TypeVar("F", bound=Fault)
+
+
+class FaultList(Generic[F]):
+    """An ordered, de-duplicated collection of faults."""
+
+    def __init__(self, faults: Iterable[F] = ()):
+        self._faults: dict[str, F] = {}
+        for fault in faults:
+            self.add(fault)
+
+    def add(self, fault: F) -> F:
+        self._faults.setdefault(fault.key, fault)
+        return self._faults[fault.key]
+
+    def __iter__(self) -> Iterator[F]:
+        return iter(self._faults.values())
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __contains__(self, fault: F) -> bool:
+        return fault.key in self._faults
+
+    def keys(self) -> list[str]:
+        return list(self._faults)
+
+    def get(self, key: str) -> F:
+        return self._faults[key]
+
+    def filtered(self, predicate) -> "FaultList[F]":
+        return FaultList(f for f in self if predicate(f))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<FaultList n={len(self)}>"

@@ -1,0 +1,36 @@
+"""Single stuck-at fault model (the classical baseline)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic.netlist import LogicCircuit
+from .base import Fault, FaultList
+
+
+@dataclass(frozen=True)
+class StuckAtFault(Fault):
+    """Net *net* permanently stuck at *value* (0 or 1)."""
+
+    net: str
+    value: int
+
+    def __post_init__(self):
+        if self.value not in (0, 1):
+            raise ValueError(f"stuck-at value must be 0 or 1, got {self.value!r}")
+
+    @property
+    def key(self) -> str:
+        return f"{self.net}/sa{self.value}"
+
+    def describe(self) -> str:
+        return f"stuck-at-{self.value} on net {self.net}"
+
+
+def stuck_at_universe(circuit: LogicCircuit) -> FaultList[StuckAtFault]:
+    """Both stuck-at faults on every net (primary inputs and gate outputs)."""
+    faults: list[StuckAtFault] = []
+    for net in circuit.nets():
+        faults.append(StuckAtFault(net, 0))
+        faults.append(StuckAtFault(net, 1))
+    return FaultList(faults)

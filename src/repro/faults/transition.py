@@ -1,0 +1,56 @@
+"""Transition (slow-to-rise / slow-to-fall) fault model.
+
+The paper contrasts OBD behaviour with this model: a transition fault only
+cares about the direction of the edge at a net, not about *which* input
+combination produced it, which is exactly why transition-fault test sets can
+miss PMOS OBD defects (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic.netlist import LogicCircuit
+from .base import Fault, FaultList
+
+SLOW_TO_RISE = "slow-to-rise"
+SLOW_TO_FALL = "slow-to-fall"
+
+
+@dataclass(frozen=True)
+class TransitionFault(Fault):
+    """Net *net* is slow to rise or slow to fall."""
+
+    net: str
+    direction: str
+
+    def __post_init__(self):
+        if self.direction not in (SLOW_TO_RISE, SLOW_TO_FALL):
+            raise ValueError(f"direction must be '{SLOW_TO_RISE}' or '{SLOW_TO_FALL}'")
+
+    @property
+    def key(self) -> str:
+        suffix = "str" if self.direction == SLOW_TO_RISE else "stf"
+        return f"{self.net}/{suffix}"
+
+    def describe(self) -> str:
+        return f"{self.direction} on net {self.net}"
+
+    @property
+    def launch_value(self) -> int:
+        """Net value required in the first pattern (before the transition)."""
+        return 0 if self.direction == SLOW_TO_RISE else 1
+
+    @property
+    def final_value(self) -> int:
+        """Net value required in the second pattern (good machine)."""
+        return 1 - self.launch_value
+
+
+def transition_fault_universe(circuit: LogicCircuit) -> FaultList[TransitionFault]:
+    """Both transition faults on every net of the circuit."""
+    faults: list[TransitionFault] = []
+    for net in circuit.nets():
+        faults.append(TransitionFault(net, SLOW_TO_RISE))
+        faults.append(TransitionFault(net, SLOW_TO_FALL))
+    return FaultList(faults)

@@ -1,0 +1,172 @@
+"""Logic simulation: zero-delay, two-pattern, and event-driven timing modes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from .gates import GateType
+from .netlist import LogicCircuit, LogicCircuitError
+
+
+def _check_assignment(circuit: LogicCircuit, assignment: Mapping[str, int]) -> dict[str, int]:
+    values: dict[str, int] = {}
+    for net in circuit.primary_inputs:
+        if net not in assignment:
+            raise LogicCircuitError(f"missing value for primary input {net!r}")
+        bit = int(assignment[net])
+        if bit not in (0, 1):
+            raise LogicCircuitError(f"primary input {net!r} must be 0 or 1, got {assignment[net]!r}")
+        values[net] = bit
+    return values
+
+
+def simulate(circuit: LogicCircuit, assignment: Mapping[str, int]) -> dict[str, int]:
+    """Zero-delay simulation: values of every net for one input assignment."""
+    values = _check_assignment(circuit, assignment)
+    for gate in circuit.topological_order():
+        values[gate.output] = gate.evaluate(values)
+    return values
+
+
+def simulate_pattern(circuit: LogicCircuit, pattern: Sequence[int]) -> dict[str, int]:
+    """Zero-delay simulation from a positional pattern over the primary inputs."""
+    inputs = circuit.primary_inputs
+    if len(pattern) != len(inputs):
+        raise LogicCircuitError(
+            f"pattern has {len(pattern)} bits but the circuit has {len(inputs)} inputs"
+        )
+    return simulate(circuit, dict(zip(inputs, pattern)))
+
+
+def output_values(circuit: LogicCircuit, pattern: Sequence[int]) -> tuple[int, ...]:
+    """Primary-output values for a positional input pattern."""
+    values = simulate_pattern(circuit, pattern)
+    return tuple(values[net] for net in circuit.primary_outputs)
+
+
+def simulate_two_patterns(
+    circuit: LogicCircuit,
+    first: Sequence[int],
+    second: Sequence[int],
+) -> tuple[dict[str, int], dict[str, int]]:
+    """Zero-delay values of every net under both patterns of a sequence."""
+    return simulate_pattern(circuit, first), simulate_pattern(circuit, second)
+
+
+def transitions_between(
+    circuit: LogicCircuit,
+    first: Sequence[int],
+    second: Sequence[int],
+) -> dict[str, tuple[int, int]]:
+    """Nets whose value changes between the two patterns, with (v1, v2) pairs."""
+    values1, values2 = simulate_two_patterns(circuit, first, second)
+    return {
+        net: (values1[net], values2[net])
+        for net in circuit.nets()
+        if values1[net] != values2[net]
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Event-driven timing simulation.
+# --------------------------------------------------------------------------- #
+@dataclass
+class TimingEvent:
+    """A scheduled net-value change."""
+
+    time: float
+    net: str
+    value: int
+
+
+@dataclass
+class TimingSimulationResult:
+    """Net waveforms produced by the event-driven simulator."""
+
+    #: For every net, the list of (time, value) changes, starting at t=0.
+    histories: dict[str, list[tuple[float, int]]]
+
+    def value_at(self, net: str, time: float) -> int:
+        """Value of *net* at the given time."""
+        history = self.histories[net]
+        value = history[0][1]
+        for t, v in history:
+            if t <= time:
+                value = v
+            else:
+                break
+        return value
+
+    def final_value(self, net: str) -> int:
+        return self.histories[net][-1][1]
+
+    def arrival_time(self, net: str) -> float:
+        """Time of the last value change on *net* (0.0 if it never changes)."""
+        history = self.histories[net]
+        return history[-1][0] if len(history) > 1 else 0.0
+
+    def toggles(self, net: str) -> int:
+        """Number of value changes on *net* after time zero."""
+        return len(self.histories[net]) - 1
+
+
+class EventDrivenSimulator:
+    """Event-driven gate-level simulator with per-gate delays.
+
+    The delay model is a callable ``delay(gate) -> float``; the default
+    assigns one time unit to every gate (unit-delay model).  Slow gates --
+    e.g. a gate whose output transition is delayed by an OBD defect -- can be
+    modeled by supplying a larger delay for that gate, which is how the
+    gate-level surrogate of the paper's transition-fault behaviour is built.
+    """
+
+    def __init__(
+        self,
+        circuit: LogicCircuit,
+        delay_model: Callable[[object], float] | None = None,
+    ):
+        self.circuit = circuit
+        self.delay_model = delay_model or (lambda gate: 1.0)
+
+    def run(
+        self,
+        initial_pattern: Sequence[int],
+        final_pattern: Sequence[int],
+        launch_time: float = 0.0,
+    ) -> TimingSimulationResult:
+        """Apply *initial_pattern*, settle, then switch to *final_pattern*.
+
+        Returns the full value history of every net.  The initial state is
+        the zero-delay steady state of the first pattern; input changes are
+        applied at *launch_time* and propagated with per-gate delays.
+        """
+        circuit = self.circuit
+        steady = simulate_pattern(circuit, initial_pattern)
+        histories: dict[str, list[tuple[float, int]]] = {
+            net: [(0.0, steady[net])] for net in circuit.nets()
+        }
+        current = dict(steady)
+
+        # Seed events with the primary-input changes.
+        events: list[TimingEvent] = []
+        for net, bit in zip(circuit.primary_inputs, final_pattern):
+            if int(bit) != current[net]:
+                events.append(TimingEvent(launch_time, net, int(bit)))
+
+        while events:
+            events.sort(key=lambda e: e.time)
+            event = events.pop(0)
+            if current[event.net] == event.value:
+                continue
+            current[event.net] = event.value
+            histories[event.net].append((event.time, event.value))
+            for gate, _pin in circuit.loads_of(event.net):
+                new_value = gate.evaluate(current)
+                scheduled_time = event.time + self.delay_model(gate)
+                # Cancel any pending event on the same net scheduled later
+                # with a now-stale value.
+                events = [e for e in events if e.net != gate.output]
+                if new_value != current[gate.output]:
+                    events.append(TimingEvent(scheduled_time, gate.output, new_value))
+        return TimingSimulationResult(histories=histories)

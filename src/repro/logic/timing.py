@@ -1,0 +1,130 @@
+"""Static timing on gate-level netlists: levels, paths and slack.
+
+The paper's concurrent-testing argument (Section 4.2) is about *slack*: an
+OBD-induced delay is only observable when it pushes a path's arrival time
+past the capture instant.  This module provides the static-timing side of
+that argument: per-gate delays, path enumeration, arrival times and slack
+against a clock period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .gates import GateType
+from .netlist import Gate, LogicCircuit
+
+#: Delay model: maps a gate to its propagation delay in seconds.
+DelayModel = Callable[[Gate], float]
+
+
+def unit_delay_model(delay: float = 1.0) -> DelayModel:
+    """Every gate has the same delay."""
+    return lambda gate: delay
+
+
+def per_type_delay_model(delays: dict[GateType | str, float], default: float = 1.0) -> DelayModel:
+    """Delays looked up by gate type."""
+    table = {GateType(k): v for k, v in delays.items()}
+    return lambda gate: table.get(gate.gate_type, default)
+
+
+@dataclass(frozen=True)
+class PathTiming:
+    """One structural path from a primary input to a primary output."""
+
+    nets: tuple[str, ...]
+    gates: tuple[str, ...]
+    delay: float
+
+    @property
+    def depth(self) -> int:
+        return len(self.gates)
+
+
+def arrival_times(circuit: LogicCircuit, delay_model: DelayModel) -> dict[str, float]:
+    """Latest arrival time of every net (primary inputs arrive at 0)."""
+    arrivals = {net: 0.0 for net in circuit.primary_inputs}
+    for gate in circuit.topological_order():
+        arrivals[gate.output] = delay_model(gate) + max(arrivals[n] for n in gate.inputs)
+    return arrivals
+
+
+def critical_path_delay(circuit: LogicCircuit, delay_model: DelayModel) -> float:
+    """Largest primary-output arrival time."""
+    arrivals = arrival_times(circuit, delay_model)
+    outputs = circuit.primary_outputs or list(arrivals)
+    return max(arrivals[n] for n in outputs)
+
+
+def slack(
+    circuit: LogicCircuit,
+    delay_model: DelayModel,
+    clock_period: float,
+) -> dict[str, float]:
+    """Slack of every primary output against the clock period."""
+    arrivals = arrival_times(circuit, delay_model)
+    return {net: clock_period - arrivals[net] for net in circuit.primary_outputs}
+
+
+def enumerate_paths(
+    circuit: LogicCircuit,
+    delay_model: DelayModel | None = None,
+    output: str | None = None,
+    limit: int = 10_000,
+) -> list[PathTiming]:
+    """All structural input-to-output paths (bounded by *limit*).
+
+    Intended for the small circuits of the paper's experiments; the limit
+    guards against exponential blow-up on larger netlists.
+    """
+    delay_model = delay_model or unit_delay_model()
+    outputs = [output] if output is not None else circuit.primary_outputs
+    paths: list[PathTiming] = []
+
+    def _walk(net: str, nets: list[str], gates: list[str], delay: float) -> None:
+        if len(paths) >= limit:
+            return
+        driver = circuit.driver_of(net)
+        if driver is None:
+            paths.append(
+                PathTiming(
+                    nets=tuple(reversed(nets + [net])),
+                    gates=tuple(reversed(gates)),
+                    delay=delay,
+                )
+            )
+            return
+        for source in driver.inputs:
+            _walk(source, nets + [net], gates + [driver.name], delay + delay_model(driver))
+
+    for out in outputs:
+        _walk(out, [], [], 0.0)
+    return paths
+
+
+def longest_path(
+    circuit: LogicCircuit,
+    delay_model: DelayModel | None = None,
+    output: str | None = None,
+) -> PathTiming:
+    """The structurally longest (largest-delay) path to an output."""
+    paths = enumerate_paths(circuit, delay_model, output)
+    if not paths:
+        raise ValueError("circuit has no input-to-output paths")
+    return max(paths, key=lambda p: p.delay)
+
+
+def observable_delay_threshold(
+    clock_period: float,
+    path_delay: float,
+    capture_margin: float = 0.0,
+) -> float:
+    """Minimum extra delay a defect must add on a path before it is caught.
+
+    A defect on a path with nominal delay ``path_delay`` produces an
+    observable timing failure only when its extra delay exceeds the path's
+    slack (minus any capture margin provided by early-capture schemes).
+    """
+    return max(clock_period - capture_margin - path_delay, 0.0)

@@ -1,0 +1,77 @@
+"""A small, self-contained SPICE-like circuit simulator.
+
+This package is the analog substrate of the reproduction: the paper's
+experiments were run in HSPICE; here they run on a from-scratch modified
+nodal analysis (MNA) engine with Level-1 MOSFETs, Shockley diodes, linear
+resistors/capacitors and time-dependent independent sources.
+
+Public entry points
+-------------------
+* :class:`Circuit` -- netlist container with convenience builders.
+* :func:`operating_point` -- DC solution.
+* :func:`dc_sweep` -- DC transfer curves (e.g. inverter VTC, Figure 4).
+* :func:`transient` -- time-domain simulation (Table 1, Figures 6, 7, 9).
+* :class:`Waveform` / :func:`propagation_delay` -- measurement primitives.
+"""
+
+from .analysis import (
+    DcSweepResult,
+    MnaSystem,
+    OperatingPoint,
+    SolverOptions,
+    TransientOptions,
+    TransientResult,
+    dc_sweep,
+    operating_point,
+    transient,
+)
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    DCWaveform,
+    Diode,
+    DiodeModel,
+    Element,
+    Mosfet,
+    MosfetModel,
+    PiecewiseLinearWaveform,
+    PulseWaveform,
+    Resistor,
+    VoltageSource,
+    two_pattern_waveform,
+)
+from .errors import AnalysisError, CircuitError, ConvergenceError, SpiceError
+from .netlist import Circuit
+from .waveform import Waveform, propagation_delay
+
+__all__ = [
+    "Circuit",
+    "Element",
+    "Resistor",
+    "Capacitor",
+    "Diode",
+    "DiodeModel",
+    "Mosfet",
+    "MosfetModel",
+    "VoltageSource",
+    "CurrentSource",
+    "DCWaveform",
+    "PiecewiseLinearWaveform",
+    "PulseWaveform",
+    "two_pattern_waveform",
+    "MnaSystem",
+    "SolverOptions",
+    "operating_point",
+    "OperatingPoint",
+    "dc_sweep",
+    "DcSweepResult",
+    "transient",
+    "TransientOptions",
+    "TransientResult",
+    "Waveform",
+    "propagation_delay",
+    "SpiceError",
+    "CircuitError",
+    "ConvergenceError",
+    "AnalysisError",
+]

@@ -1,0 +1,22 @@
+"""Analyses: operating point, DC sweep and transient simulation."""
+
+from .dc_sweep import DcSweepResult, dc_sweep
+from .mna import MnaSystem
+from .op import OperatingPoint, operating_point
+from .solver import SolveResult, SolverOptions, newton_solve, robust_solve
+from .transient import TransientOptions, TransientResult, transient
+
+__all__ = [
+    "MnaSystem",
+    "SolverOptions",
+    "SolveResult",
+    "newton_solve",
+    "robust_solve",
+    "OperatingPoint",
+    "operating_point",
+    "DcSweepResult",
+    "dc_sweep",
+    "TransientOptions",
+    "TransientResult",
+    "transient",
+]

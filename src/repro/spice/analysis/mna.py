@@ -1,0 +1,85 @@
+"""Modified nodal analysis bookkeeping: node/branch index assignment."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..elements import is_ground
+from ..errors import CircuitError
+from ..netlist import Circuit
+
+
+class MnaSystem:
+    """Assigns MNA matrix rows to a circuit's nodes and source branches.
+
+    Row layout: all non-ground nodes (in sorted order) followed by one row per
+    branch-current unknown, in element insertion order.
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        node_names = circuit.nodes()
+        if not node_names:
+            raise CircuitError("circuit has no non-ground nodes")
+        self._node_index: dict[str, int] = {name: i for i, name in enumerate(node_names)}
+        self.node_names = node_names
+        self.num_nodes = len(node_names)
+
+        branch = self.num_nodes
+        self._branch_owner: dict[str, int] = {}
+        for element in circuit:
+            indices = tuple(
+                -1 if is_ground(node) else self._node_index[node] for node in element.nodes
+            )
+            if element.num_branches > 0:
+                element.assign_indices(indices, branch)
+                self._branch_owner[element.name] = branch
+                branch += element.num_branches
+            else:
+                element.assign_indices(indices, -1)
+        self.num_branches = branch - self.num_nodes
+        self.size = branch
+
+    # ------------------------------------------------------------------ #
+    def node_index(self, name: str) -> int:
+        """MNA row of a node name (-1 for ground)."""
+        if is_ground(name):
+            return -1
+        try:
+            return self._node_index[name]
+        except KeyError:
+            raise CircuitError(f"unknown node {name!r}") from None
+
+    def branch_index(self, element_name: str) -> int:
+        """MNA row holding the branch current of the named element."""
+        try:
+            return self._branch_owner[element_name]
+        except KeyError:
+            raise CircuitError(f"element {element_name!r} has no branch current") from None
+
+    def voltage(self, x: np.ndarray, node: str) -> float:
+        """Node voltage extracted from a solution vector."""
+        idx = self.node_index(node)
+        if idx < 0:
+            return 0.0
+        return float(x[idx])
+
+    def voltages(self, x: np.ndarray) -> dict[str, float]:
+        """All node voltages as a dictionary."""
+        return {name: float(x[i]) for name, i in self._node_index.items()}
+
+    def branch_currents(self, x: np.ndarray) -> dict[str, float]:
+        """Branch currents (one per voltage source) as a dictionary."""
+        return {name: float(x[row]) for name, row in self._branch_owner.items()}
+
+    def initial_guess(self, hints: Mapping[str, float] | None = None) -> np.ndarray:
+        """Zero vector, optionally seeded with per-node voltage hints."""
+        x0 = np.zeros(self.size)
+        if hints:
+            for node, value in hints.items():
+                idx = self.node_index(node)
+                if idx >= 0:
+                    x0[idx] = value
+        return x0

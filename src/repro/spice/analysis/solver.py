@@ -1,0 +1,181 @@
+"""Damped Newton-Raphson solver for the nonlinear MNA system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..elements import StampContext, Stamper
+from ..errors import ConvergenceError
+from .mna import MnaSystem
+
+
+@dataclass
+class SolverOptions:
+    """Newton iteration controls.
+
+    Attributes
+    ----------
+    max_iterations:
+        Iteration limit per solve.
+    reltol / vntol:
+        Relative and absolute voltage convergence tolerances (SPICE style):
+        the solve converges when every solution entry changes by less than
+        ``vntol + reltol * |x|``.
+    max_step:
+        Largest allowed per-iteration change of any node voltage (damping).
+        Branch currents are not damped.
+    gmin:
+        Conductance tied from every node to ground.
+    """
+
+    max_iterations: int = 200
+    reltol: float = 1e-3
+    vntol: float = 1e-6
+    max_step: float = 0.5
+    gmin: float = 1e-12
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one Newton solve."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    max_delta: float = 0.0
+
+
+def newton_solve(
+    system: MnaSystem,
+    ctx: StampContext,
+    x0: np.ndarray,
+    options: SolverOptions | None = None,
+) -> SolveResult:
+    """Solve the MNA system by damped Newton iteration.
+
+    The context's ``x`` field is updated in place with each iterate; the
+    caller decides what to do with non-convergence (the function returns the
+    best iterate rather than raising, so homotopy strategies can chain
+    solves).
+    """
+    options = options or SolverOptions()
+    circuit = system.circuit
+    x = np.array(x0, dtype=float, copy=True)
+    num_nodes = system.num_nodes
+    max_delta = np.inf
+
+    for iteration in range(1, options.max_iterations + 1):
+        ctx.x = x
+        stamper = Stamper(system.size)
+        stamper.gmin_to_ground(num_nodes, max(options.gmin, ctx.gmin))
+        for element in circuit:
+            element.stamp(stamper, ctx)
+        try:
+            x_new = np.linalg.solve(stamper.matrix, stamper.rhs)
+        except np.linalg.LinAlgError:
+            x_new, *_ = np.linalg.lstsq(stamper.matrix, stamper.rhs, rcond=None)
+        if not np.all(np.isfinite(x_new)):
+            return SolveResult(x=x, converged=False, iterations=iteration, max_delta=np.inf)
+
+        delta = x_new - x
+        max_delta = float(np.max(np.abs(delta[:num_nodes]))) if num_nodes else 0.0
+
+        # Damp node-voltage updates only.
+        limited = delta.copy()
+        if num_nodes and options.max_step > 0.0:
+            np.clip(
+                limited[:num_nodes], -options.max_step, options.max_step, out=limited[:num_nodes]
+            )
+        x = x + limited
+
+        tolerance = options.vntol + options.reltol * np.abs(x_new)
+        if np.all(np.abs(delta) <= tolerance):
+            ctx.x = x
+            return SolveResult(x=x, converged=True, iterations=iteration, max_delta=max_delta)
+
+    ctx.x = x
+    return SolveResult(
+        x=x, converged=False, iterations=options.max_iterations, max_delta=max_delta
+    )
+
+
+def solve_with_gmin_stepping(
+    system: MnaSystem,
+    ctx: StampContext,
+    x0: np.ndarray,
+    options: SolverOptions | None = None,
+    gmin_ladder: tuple[float, ...] = (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 1e-12),
+) -> SolveResult:
+    """Gmin-stepping homotopy: solve with large gmin, then relax it.
+
+    Each rung of the ladder is solved starting from the previous rung's
+    solution.  The final rung uses the caller's own gmin.
+    """
+    options = options or SolverOptions()
+    x = np.array(x0, dtype=float, copy=True)
+    result = SolveResult(x=x, converged=False, iterations=0)
+    for gmin in gmin_ladder:
+        ctx.gmin = gmin
+        result = newton_solve(system, ctx, x, options)
+        if result.converged:
+            x = result.x
+        # Even without convergence the iterate is usually a better start.
+        x = result.x
+    ctx.gmin = options.gmin
+    final = newton_solve(system, ctx, x, options)
+    return final
+
+
+def solve_with_source_stepping(
+    system: MnaSystem,
+    ctx: StampContext,
+    x0: np.ndarray,
+    options: SolverOptions | None = None,
+    steps: int = 10,
+) -> SolveResult:
+    """Source-stepping homotopy: ramp all independent sources from 0 to 100 %."""
+    options = options or SolverOptions()
+    x = np.array(x0, dtype=float, copy=True)
+    result = SolveResult(x=x, converged=False, iterations=0)
+    for k in range(1, steps + 1):
+        ctx.source_scale = k / steps
+        result = newton_solve(system, ctx, x, options)
+        x = result.x
+        if not result.converged and k == steps:
+            break
+    ctx.source_scale = 1.0
+    return result
+
+
+def robust_solve(
+    system: MnaSystem,
+    ctx: StampContext,
+    x0: np.ndarray,
+    options: SolverOptions | None = None,
+    raise_on_failure: bool = True,
+) -> SolveResult:
+    """Plain Newton, then gmin stepping, then source stepping.
+
+    Raises :class:`~repro.spice.errors.ConvergenceError` when everything
+    fails (unless ``raise_on_failure`` is False).
+    """
+    options = options or SolverOptions()
+    result = newton_solve(system, ctx, x0, options)
+    if result.converged:
+        return result
+    result = solve_with_gmin_stepping(system, ctx, x0, options)
+    if result.converged:
+        return result
+    result = solve_with_source_stepping(system, ctx, x0, options)
+    if result.converged:
+        return result
+    if raise_on_failure:
+        raise ConvergenceError(
+            f"Newton iteration failed to converge for circuit {system.circuit.title!r} "
+            f"(max node-voltage change {result.max_delta:.3e} V)",
+            iterations=result.iterations,
+            residual=result.max_delta,
+        )
+    return result

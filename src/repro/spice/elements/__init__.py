@@ -1,0 +1,37 @@
+"""Circuit elements understood by the MNA engine."""
+
+from .base import Element, StampContext, Stamper, GROUND_NAMES, is_ground
+from .capacitor import Capacitor
+from .diode import Diode, DiodeModel, THERMAL_VOLTAGE
+from .mosfet import Mosfet, MosfetModel, MosfetOperatingPoint
+from .resistor import Resistor
+from .sources import (
+    CurrentSource,
+    DCWaveform,
+    PiecewiseLinearWaveform,
+    PulseWaveform,
+    VoltageSource,
+    two_pattern_waveform,
+)
+
+__all__ = [
+    "Element",
+    "StampContext",
+    "Stamper",
+    "GROUND_NAMES",
+    "is_ground",
+    "Resistor",
+    "Capacitor",
+    "Diode",
+    "DiodeModel",
+    "THERMAL_VOLTAGE",
+    "Mosfet",
+    "MosfetModel",
+    "MosfetOperatingPoint",
+    "VoltageSource",
+    "CurrentSource",
+    "DCWaveform",
+    "PiecewiseLinearWaveform",
+    "PulseWaveform",
+    "two_pattern_waveform",
+]

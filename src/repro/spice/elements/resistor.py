@@ -1,0 +1,38 @@
+"""Linear resistor element."""
+
+from __future__ import annotations
+
+from .base import Element, StampContext, Stamper
+
+
+class Resistor(Element):
+    """Ideal linear resistor between nodes ``a`` and ``b``.
+
+    Parameters
+    ----------
+    name:
+        Unique element name.
+    a, b:
+        Terminal node names.
+    resistance:
+        Resistance in ohms; must be positive.
+    """
+
+    def __init__(self, name: str, a: str, b: str, resistance: float):
+        super().__init__(name, (a, b))
+        if resistance <= 0.0:
+            raise ValueError(f"resistor {name}: resistance must be > 0, got {resistance}")
+        self.resistance = float(resistance)
+
+    @property
+    def conductance(self) -> float:
+        """Conductance in siemens."""
+        return 1.0 / self.resistance
+
+    def stamp(self, stamper: Stamper, ctx: StampContext) -> None:
+        a, b = self._indices
+        stamper.conductance(a, b, self.conductance)
+
+    def current(self, va: float, vb: float) -> float:
+        """Current flowing from ``a`` to ``b`` for the given terminal voltages."""
+        return (va - vb) / self.resistance

@@ -1,0 +1,183 @@
+"""Independent voltage and current sources with time-dependent waveforms."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .base import Element, StampContext, Stamper
+
+WaveformFunction = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class DCWaveform:
+    """Constant value waveform."""
+
+    value: float = 0.0
+
+    def __call__(self, time: float) -> float:
+        return self.value
+
+
+class PiecewiseLinearWaveform:
+    """SPICE-style PWL waveform defined by (time, value) breakpoints.
+
+    The value is held constant before the first breakpoint and after the last
+    one, and linearly interpolated in between.
+    """
+
+    def __init__(self, points: Sequence[tuple[float, float]]):
+        if not points:
+            raise ValueError("PWL waveform needs at least one point")
+        times = [float(t) for t, _ in points]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("PWL breakpoint times must be non-decreasing")
+        self.times = times
+        self.values = [float(v) for _, v in points]
+
+    def __call__(self, time: float) -> float:
+        times, values = self.times, self.values
+        if time <= times[0]:
+            return values[0]
+        if time >= times[-1]:
+            return values[-1]
+        hi = bisect.bisect_right(times, time)
+        lo = hi - 1
+        t0, t1 = times[lo], times[hi]
+        v0, v1 = values[lo], values[hi]
+        if t1 == t0:
+            return v1
+        frac = (time - t0) / (t1 - t0)
+        return v0 + frac * (v1 - v0)
+
+
+class PulseWaveform:
+    """SPICE-style PULSE waveform.
+
+    Parameters mirror the SPICE ``PULSE`` source: initial value, pulsed value,
+    delay, rise time, fall time, pulse width and period.
+    """
+
+    def __init__(
+        self,
+        initial: float,
+        pulsed: float,
+        delay: float = 0.0,
+        rise: float = 1e-12,
+        fall: float = 1e-12,
+        width: float = 1e-9,
+        period: float = 2e-9,
+    ):
+        if rise <= 0.0 or fall <= 0.0:
+            raise ValueError("pulse rise and fall times must be > 0")
+        if period <= 0.0:
+            raise ValueError("pulse period must be > 0")
+        self.initial = float(initial)
+        self.pulsed = float(pulsed)
+        self.delay = float(delay)
+        self.rise = float(rise)
+        self.fall = float(fall)
+        self.width = float(width)
+        self.period = float(period)
+
+    def __call__(self, time: float) -> float:
+        if time < self.delay:
+            return self.initial
+        t = (time - self.delay) % self.period
+        if t < self.rise:
+            frac = t / self.rise
+            return self.initial + frac * (self.pulsed - self.initial)
+        t -= self.rise
+        if t < self.width:
+            return self.pulsed
+        t -= self.width
+        if t < self.fall:
+            frac = t / self.fall
+            return self.pulsed + frac * (self.initial - self.pulsed)
+        return self.initial
+
+
+def two_pattern_waveform(
+    first: float,
+    second: float,
+    switch_time: float,
+    transition_time: float = 20e-12,
+) -> PiecewiseLinearWaveform:
+    """Waveform applying *first* until *switch_time*, then ramping to *second*.
+
+    This is the building block for the two-pattern (launch/capture) input
+    sequences used throughout the paper's experiments.
+    """
+    if switch_time <= 0.0:
+        raise ValueError("switch_time must be > 0")
+    if transition_time <= 0.0:
+        raise ValueError("transition_time must be > 0")
+    return PiecewiseLinearWaveform(
+        [
+            (0.0, first),
+            (switch_time, first),
+            (switch_time + transition_time, second),
+        ]
+    )
+
+
+class VoltageSource(Element):
+    """Ideal independent voltage source between ``p`` and ``n``.
+
+    The source introduces one MNA branch-current unknown.  The value may be a
+    constant (``dc``) or any callable of time (``waveform``); when both are
+    given the waveform wins.
+    """
+
+    num_branches = 1
+
+    def __init__(
+        self,
+        name: str,
+        p: str,
+        n: str,
+        dc: float = 0.0,
+        waveform: WaveformFunction | None = None,
+    ):
+        super().__init__(name, (p, n))
+        self.dc = float(dc)
+        self.waveform = waveform
+
+    def value(self, time: float) -> float:
+        """Source voltage at the given time."""
+        if self.waveform is not None:
+            return float(self.waveform(time))
+        return self.dc
+
+    def stamp(self, stamper: Stamper, ctx: StampContext) -> None:
+        p, n = self._indices
+        value = self.value(ctx.time) * ctx.source_scale
+        stamper.voltage_source(self._branch, p, n, value)
+
+
+class CurrentSource(Element):
+    """Ideal independent current source pushing current from ``p`` to ``n``."""
+
+    def __init__(
+        self,
+        name: str,
+        p: str,
+        n: str,
+        dc: float = 0.0,
+        waveform: WaveformFunction | None = None,
+    ):
+        super().__init__(name, (p, n))
+        self.dc = float(dc)
+        self.waveform = waveform
+
+    def value(self, time: float) -> float:
+        """Source current at the given time."""
+        if self.waveform is not None:
+            return float(self.waveform(time))
+        return self.dc
+
+    def stamp(self, stamper: Stamper, ctx: StampContext) -> None:
+        p, n = self._indices
+        stamper.current(p, n, self.value(ctx.time) * ctx.source_scale)

@@ -1,0 +1,22 @@
+"""Exception types raised by the :mod:`repro.spice` simulator."""
+
+
+class SpiceError(Exception):
+    """Base class for all simulator errors."""
+
+
+class CircuitError(SpiceError):
+    """Raised for malformed circuits (duplicate names, bad connections)."""
+
+
+class ConvergenceError(SpiceError):
+    """Raised when the nonlinear solver fails to converge."""
+
+    def __init__(self, message, iterations=None, residual=None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class AnalysisError(SpiceError):
+    """Raised for invalid analysis requests (bad sweep ranges, step sizes)."""

@@ -1,0 +1,33 @@
+"""Concurrent-testing support: capture models, windows, schedules."""
+
+from .capture import CaptureModel
+from .scheduler import (
+    TestSchedule,
+    attempts_with_period,
+    maximum_test_period,
+    required_periods,
+    schedule_for_window,
+)
+from .window import (
+    DetectionWindow,
+    StageDelay,
+    detectability_threshold,
+    detection_window,
+    first_detectable_stage,
+    window_versus_slack,
+)
+
+__all__ = [
+    "StageDelay",
+    "DetectionWindow",
+    "detectability_threshold",
+    "first_detectable_stage",
+    "detection_window",
+    "window_versus_slack",
+    "CaptureModel",
+    "TestSchedule",
+    "maximum_test_period",
+    "schedule_for_window",
+    "attempts_with_period",
+    "required_periods",
+]

@@ -1,0 +1,82 @@
+"""Early-capture modeling for concurrent delay-fault detection.
+
+Section 4.2 notes that detecting the OBD-induced delay "may necessitate
+output capture earlier than the designated clock frequency of the digital
+circuit", the same trick used by scan-based transition-fault testing.  The
+:class:`CaptureModel` captures the arithmetic of that statement: given a
+clock period and an early-capture fraction, which extra delays are visible?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.breakdown import BreakdownStage
+from .window import StageDelay
+
+
+@dataclass(frozen=True)
+class CaptureModel:
+    """Observation timing of a concurrent checker.
+
+    Attributes
+    ----------
+    clock_period:
+        Functional clock period of the circuit.
+    capture_fraction:
+        When the checker samples the output, as a fraction of the clock
+        period (1.0 = capture at the functional clock edge, smaller values
+        model early capture).
+    checker_latency:
+        Additional latency before the checker's verdict is available; it does
+        not change visibility, only the diagnosis turnaround.
+    """
+
+    clock_period: float
+    capture_fraction: float = 1.0
+    checker_latency: float = 0.0
+
+    def __post_init__(self):
+        if self.clock_period <= 0.0:
+            raise ValueError("clock_period must be > 0")
+        if not 0.0 < self.capture_fraction <= 1.0:
+            raise ValueError("capture_fraction must be in (0, 1]")
+        if self.checker_latency < 0.0:
+            raise ValueError("checker_latency must be >= 0")
+
+    @property
+    def capture_time(self) -> float:
+        """Absolute capture instant after the launch edge."""
+        return self.clock_period * self.capture_fraction
+
+    def slack_for_path(self, path_delay: float) -> float:
+        """Timing slack of a path against this capture instant."""
+        return max(self.capture_time - path_delay, 0.0)
+
+    def observes(self, path_delay: float, extra_delay: float) -> bool:
+        """Is an extra delay on the path visible at the capture instant?"""
+        return path_delay + extra_delay > self.capture_time
+
+    def first_observable_stage(
+        self,
+        stage_delays: Sequence[StageDelay],
+        nominal_delay: float,
+        path_delay: Optional[float] = None,
+    ) -> Optional[BreakdownStage]:
+        """Earliest breakdown stage whose delay this capture scheme can see.
+
+        ``stage_delays`` holds the defective gate's delay per stage,
+        ``nominal_delay`` its fault-free delay, and ``path_delay`` the total
+        nominal delay of the observing path (defaults to the gate delay
+        itself, i.e. the gate drives the capture point directly).
+        """
+        path = path_delay if path_delay is not None else nominal_delay
+        ordered = sorted(stage_delays, key=lambda s: s.stage.order)
+        for entry in ordered:
+            if entry.stage == BreakdownStage.FAULT_FREE:
+                continue
+            extra = entry.effective_delay - nominal_delay
+            if self.observes(path, extra):
+                return entry.stage
+        return None

@@ -1,0 +1,145 @@
+"""Detection window-of-opportunity analysis (Section 4.2).
+
+The paper argues that because OBD leakage grows exponentially, the usable
+window for concurrent detection is bounded by (a) the moment the extra delay
+first exceeds the slack seen by the capture mechanism and (b) the moment of
+hard breakdown.  This module combines
+
+* a progression model (time -> breakdown stage / parameters),
+* per-stage measured delays (from the Table-1 style characterization), and
+* the timing slack of the observing path / capture mechanism
+
+into the concrete detection window and its sensitivity to the capture slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..core.breakdown import BreakdownStage
+from ..core.progression import ProgressionModel
+
+
+@dataclass(frozen=True)
+class StageDelay:
+    """Measured gate (or path) delay at one breakdown stage."""
+
+    stage: BreakdownStage
+    delay: Optional[float]
+    stuck: bool = False
+
+    @property
+    def effective_delay(self) -> float:
+        """Delay used for comparisons (stuck outputs count as infinite)."""
+        if self.stuck or self.delay is None:
+            return float("inf")
+        return self.delay
+
+
+@dataclass(frozen=True)
+class DetectionWindow:
+    """The usable time window for catching a progressing defect."""
+
+    opens_at: float
+    closes_at: float
+    opening_stage: Optional[BreakdownStage]
+    nominal_delay: float
+    threshold_delay: float
+
+    @property
+    def duration(self) -> float:
+        return max(self.closes_at - self.opens_at, 0.0)
+
+    @property
+    def exists(self) -> bool:
+        return self.opening_stage is not None and self.duration > 0.0
+
+    def describe(self) -> str:
+        if not self.exists:
+            return "no detection window (defect never exceeds the observable threshold)"
+        hours = self.duration / 3600.0
+        return (
+            f"window opens at stage {self.opening_stage.value} "
+            f"({self.opens_at / 3600.0:.2f} h after SBD onset), closes at hard breakdown "
+            f"({self.closes_at / 3600.0:.2f} h): {hours:.2f} h available"
+        )
+
+
+def detectability_threshold(nominal_delay: float, slack: float) -> float:
+    """Smallest faulty delay that produces an observable timing failure.
+
+    With a capture instant ``nominal_delay + slack`` after the launch edge,
+    a defect is observable once its delay exceeds that sum.
+    """
+    if nominal_delay < 0.0 or slack < 0.0:
+        raise ValueError("nominal delay and slack must be >= 0")
+    return nominal_delay + slack
+
+
+def first_detectable_stage(
+    stage_delays: Sequence[StageDelay],
+    nominal_delay: float,
+    slack: float,
+) -> Optional[BreakdownStage]:
+    """Earliest stage whose delay exceeds the detectability threshold."""
+    threshold = detectability_threshold(nominal_delay, slack)
+    ordered = sorted(stage_delays, key=lambda s: s.stage.order)
+    for entry in ordered:
+        if entry.stage == BreakdownStage.FAULT_FREE:
+            continue
+        if entry.effective_delay > threshold:
+            return entry.stage
+    return None
+
+
+def detection_window(
+    progression: ProgressionModel,
+    stage_delays: Sequence[StageDelay],
+    nominal_delay: float,
+    slack: float,
+) -> DetectionWindow:
+    """Compute the concrete detection window for one defect site.
+
+    ``stage_delays`` is the per-stage delay characterization of the defective
+    gate (e.g. one column of the reproduced Table 1); ``nominal_delay`` is
+    the fault-free delay and ``slack`` the additional timing margin before
+    the output is captured.
+    """
+    threshold = detectability_threshold(nominal_delay, slack)
+    stage = first_detectable_stage(stage_delays, nominal_delay, slack)
+    closes = progression.hbd_time
+    if stage is None:
+        return DetectionWindow(
+            opens_at=closes,
+            closes_at=closes,
+            opening_stage=None,
+            nominal_delay=nominal_delay,
+            threshold_delay=threshold,
+        )
+    opens = progression.time_of_stage(stage)
+    return DetectionWindow(
+        opens_at=opens,
+        closes_at=closes,
+        opening_stage=stage,
+        nominal_delay=nominal_delay,
+        threshold_delay=threshold,
+    )
+
+
+def window_versus_slack(
+    progression: ProgressionModel,
+    stage_delays: Sequence[StageDelay],
+    nominal_delay: float,
+    slacks: Sequence[float],
+) -> dict[float, DetectionWindow]:
+    """Detection windows for a sweep of capture slacks.
+
+    Larger slack (later capture) shrinks the window: the defect must progress
+    further before it is visible, which is the quantitative form of the
+    paper's statement that "the window of opportunity depends on the timing
+    slack in the detection mechanism".
+    """
+    return {
+        float(s): detection_window(progression, stage_delays, nominal_delay, s) for s in slacks
+    }

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cells import default_technology
+from repro.logic import c17, full_adder, full_adder_sum, ripple_carry_adder
+
+
+@pytest.fixture(scope="session")
+def tech():
+    """The default 3.3 V technology used by all circuit-level tests."""
+    return default_technology()
+
+
+@pytest.fixture(scope="session")
+def fa_sum():
+    """The paper's full-adder sum circuit (reconstruction)."""
+    return full_adder_sum()
+
+
+@pytest.fixture(scope="session")
+def fa_full():
+    """Complete full adder (sum + carry)."""
+    return full_adder()
+
+
+@pytest.fixture(scope="session")
+def c17_circuit():
+    """ISCAS-85 C17 benchmark."""
+    return c17()
+
+
+@pytest.fixture(scope="session")
+def rca4():
+    """4-bit ripple-carry adder."""
+    return ripple_carry_adder(4)

@@ -1,0 +1,274 @@
+"""Tests for the fault models, PODEM, two-pattern / OBD ATPG and fault simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atpg import (
+    PodemOptions,
+    coverage_from_report,
+    exhaustive_pairs,
+    exhaustive_patterns,
+    generate_obd_test,
+    generate_stuck_at_test,
+    generate_transition_test,
+    greedy_compaction,
+    justify,
+    obd_fault_detected,
+    random_pairs,
+    random_patterns,
+    run_obd_atpg,
+    simulate_obd,
+    simulate_stuck_at,
+    simulate_transition,
+    simulate_with_forced_net,
+    single_input_change_pairs,
+    transition_fault_detected,
+)
+from repro.atpg.values import D, DBAR, ONE, X, ZERO, evaluate_gate_values, from_bit
+from repro.faults import (
+    ObdFault,
+    PathDelayFault,
+    StuckAtFault,
+    TransitionFault,
+    collapse_ratio,
+    collapse_stuck_at_faults,
+    is_sensitized,
+    obd_equivalence_groups,
+    obd_fault_universe,
+    path_delay_universe,
+    stuck_at_universe,
+    transition_fault_universe,
+)
+from repro.logic import GateType, full_adder_sum, simulate_pattern, two_to_one_mux
+
+
+class TestFaultModels:
+    def test_stuck_at_universe_size(self, c17_circuit):
+        assert len(stuck_at_universe(c17_circuit)) == 2 * len(c17_circuit.nets())
+
+    def test_stuck_at_key_and_eq(self):
+        assert StuckAtFault("n1", 0) == StuckAtFault("n1", 0)
+        assert StuckAtFault("n1", 0) != StuckAtFault("n1", 1)
+        assert StuckAtFault("n1", 1).key == "n1/sa1"
+        with pytest.raises(ValueError):
+            StuckAtFault("n1", 2)
+
+    def test_transition_fault_values(self):
+        str_fault = TransitionFault("n1", "slow-to-rise")
+        assert str_fault.launch_value == 0 and str_fault.final_value == 1
+        stf_fault = TransitionFault("n1", "slow-to-fall")
+        assert stf_fault.launch_value == 1
+        with pytest.raises(ValueError):
+            TransitionFault("n1", "slow")
+
+    def test_transition_universe(self, c17_circuit):
+        assert len(transition_fault_universe(c17_circuit)) == 2 * len(c17_circuit.nets())
+
+    def test_obd_universe_counts(self, fa_sum):
+        assert len(obd_fault_universe(fa_sum, gate_types=[GateType.NAND2])) == 56
+        assert len(obd_fault_universe(fa_sum)) == 84
+
+    def test_obd_fault_properties(self):
+        fault = ObdFault("g1", GateType.NAND2, "PA")
+        assert fault.polarity == "p"
+        assert fault.output_edge == "rising"
+        assert fault.local_sequences == (((1, 1), (0, 1)),)
+
+    def test_path_delay_universe_and_sensitization(self):
+        mux = two_to_one_mux()
+        faults = path_delay_universe(mux)
+        assert len(faults) > 0
+        fault = PathDelayFault(("D0", "t0", "Y"), "rising")
+        # D0 rising with S=0 selects D0; the path toggles end to end.
+        assert is_sensitized(mux, fault, (0, 0, 0), (1, 0, 0))
+        assert not is_sensitized(mux, fault, (0, 0, 1), (1, 0, 1))
+
+    def test_stuck_at_collapsing_reduces_count(self, c17_circuit):
+        collapsed = collapse_stuck_at_faults(c17_circuit)
+        assert len(collapsed) < len(stuck_at_universe(c17_circuit))
+        assert 0.0 < collapse_ratio(c17_circuit) < 1.0
+
+    def test_obd_equivalence_groups(self, fa_sum):
+        faults = obd_fault_universe(fa_sum, gate_types=[GateType.NAND2])
+        groups = obd_equivalence_groups(faults)
+        # Each NAND contributes 3 groups: {NA, NB}, {PA}, {PB}.
+        assert len(groups) == 14 * 3
+        sizes = sorted(len(v) for v in groups.values())
+        assert sizes.count(2) == 14
+
+
+class TestFiveValuedAlgebra:
+    def test_basic_values(self):
+        assert str(D) == "D" and str(DBAR) == "D'"
+        assert D.is_error and not ONE.is_error
+        assert from_bit(None) == X and from_bit(1) == ONE
+
+    def test_nand_with_error_input(self):
+        assert evaluate_gate_values(GateType.NAND2, [D, ONE]) == DBAR
+        assert evaluate_gate_values(GateType.NAND2, [D, ZERO]) == ONE
+        assert evaluate_gate_values(GateType.NAND2, [D, X]).good is None
+
+    def test_inverter_propagates_error(self):
+        assert evaluate_gate_values(GateType.INV, [D]) == DBAR
+        assert evaluate_gate_values(GateType.INV, [DBAR]) == D
+
+    def test_complex_gate_three_valued(self):
+        assert evaluate_gate_values(GateType.AOI21, [ONE, ONE, X]) == ZERO
+        assert evaluate_gate_values(GateType.OAI21, [ZERO, ZERO, X]) == ONE
+
+
+class TestPodem:
+    def test_c17_full_stuck_at_coverage(self, c17_circuit):
+        faults = list(stuck_at_universe(c17_circuit))
+        patterns = []
+        for fault in faults:
+            result = generate_stuck_at_test(c17_circuit, fault)
+            assert result.success, fault.key
+            patterns.append(tuple(result.pattern[n] for n in c17_circuit.primary_inputs))
+        report = simulate_stuck_at(c17_circuit, patterns, faults)
+        assert coverage_from_report("sa", report).coverage == 1.0
+
+    def test_generated_test_actually_detects(self, fa_sum):
+        fault = StuckAtFault("z1", 0)
+        result = generate_stuck_at_test(fa_sum, fault)
+        assert result.success
+        pattern = tuple(result.pattern[n] for n in fa_sum.primary_inputs)
+        report = simulate_stuck_at(fa_sum, [pattern], [fault])
+        assert report.detected_faults == [fault.key]
+
+    def test_constraint_satisfaction(self, fa_sum):
+        result = justify(fa_sum, {"m4": 1})
+        assert result.success
+        values = simulate_pattern(fa_sum, tuple(result.pattern[n] for n in fa_sum.primary_inputs))
+        assert values["m4"] == 1
+
+    def test_conflicting_constraints_unjustifiable(self, fa_sum):
+        # m4_n is the complement of m4: both cannot be 1.
+        result = justify(fa_sum, {"m4": 1, "m4_n": 1})
+        assert not result.success and not result.aborted
+
+    def test_untestable_fault_reported(self):
+        """A redundant stuck-at fault is proven untestable, not aborted."""
+        from repro.logic import LogicCircuit
+
+        c = LogicCircuit("redundant")
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("inv", GateType.INV, ["a"], "an")
+        # y = NAND(a, NOT a) == 1 always: output stuck-at-1 is undetectable.
+        c.add_gate("g", GateType.NAND2, ["a", "an"], "y")
+        result = generate_stuck_at_test(c, StuckAtFault("y", 1))
+        assert not result.success
+        assert result.untestable
+
+    def test_constrained_stuck_at(self, fa_sum):
+        gate = fa_sum.gate("nand_m4")
+        constraints = dict(zip(gate.inputs, (1, 1)))
+        result = generate_stuck_at_test(fa_sum, StuckAtFault(gate.output, 1), constraints=constraints)
+        assert result.success
+        values = simulate_pattern(fa_sum, tuple(result.pattern[n] for n in fa_sum.primary_inputs))
+        for net, bit in constraints.items():
+            assert values[net] == bit
+
+    def test_backtrack_limit_aborts(self, rca4):
+        options = PodemOptions(max_backtracks=0)
+        # A hard fault with zero backtracks allowed either succeeds directly
+        # or aborts -- it must not claim untestability.
+        result = generate_stuck_at_test(rca4, StuckAtFault("COUT", 1), options=options)
+        assert result.success or result.aborted
+
+
+class TestTwoPatternAndObdAtpg:
+    def test_transition_test_detects(self, fa_sum):
+        fault = TransitionFault("z1", "slow-to-rise")
+        result = generate_transition_test(fa_sum, fault)
+        assert result.success
+        assert transition_fault_detected(fa_sum, fault, (result.test.first, result.test.second))
+
+    def test_obd_test_respects_excitation(self, fa_sum):
+        fault = ObdFault("nand_m4", GateType.NAND2, "PA")
+        result = generate_obd_test(fa_sum, fault)
+        assert result.success
+        v1, v2 = result.local_sequence
+        gate = fa_sum.gate("nand_m4")
+        values1 = simulate_pattern(fa_sum, result.test.first)
+        values2 = simulate_pattern(fa_sum, result.test.second)
+        assert tuple(values1[n] for n in gate.inputs) == v1
+        assert tuple(values2[n] for n in gate.inputs) == v2
+        assert obd_fault_detected(fa_sum, fault, (result.test.first, result.test.second))
+
+    def test_obd_atpg_matches_exhaustive_simulation(self, fa_sum):
+        faults = obd_fault_universe(fa_sum, gate_types=[GateType.NAND2])
+        summary = run_obd_atpg(fa_sum, faults)
+        report = simulate_obd(fa_sum, exhaustive_pairs(fa_sum), faults)
+        assert {r.fault.key for r in summary.testable} == set(report.detected_faults)
+        assert len(summary.aborted) == 0
+
+    def test_self_coupled_nand_pb_untestable(self, fa_sum):
+        """A NAND used as an inverter cannot have its PB defect excited."""
+        fault = ObdFault("nand_or12_self", GateType.NAND2, "PB")
+        result = generate_obd_test(fa_sum, fault)
+        assert result.untestable
+
+    def test_obd_summary_describe(self, fa_sum):
+        faults = list(obd_fault_universe(fa_sum, gate_types=[GateType.NAND2]))[:4]
+        summary = run_obd_atpg(fa_sum, faults)
+        assert "4 faults" in summary.describe()
+
+
+class TestFaultSimulation:
+    def test_forced_net_simulation(self, c17_circuit):
+        values = simulate_with_forced_net(c17_circuit, (1, 1, 1, 1, 1), "G11", 1)
+        assert values["G11"] == 1
+
+    def test_transition_needs_both_patterns(self, fa_sum):
+        fault = TransitionFault("m4", "slow-to-rise")
+        # Second pattern does not set m4=1 -> no detection.
+        assert not transition_fault_detected(fa_sum, fault, ((0, 0, 0), (0, 1, 0)))
+
+    def test_obd_detection_is_input_specific(self, fa_sum):
+        """The same output transition through a different input does not count."""
+        fault = ObdFault("nand_m4_ab", GateType.NAND2, "PA")
+        gate = fa_sum.gate("nand_m4_ab")
+        detected_pairs = [
+            pair for pair in exhaustive_pairs(fa_sum) if obd_fault_detected(fa_sum, fault, pair)
+        ]
+        for pair in detected_pairs:
+            values1 = simulate_pattern(fa_sum, pair[0])
+            values2 = simulate_pattern(fa_sum, pair[1])
+            local = (
+                tuple(values1[n] for n in gate.inputs),
+                tuple(values2[n] for n in gate.inputs),
+            )
+            assert local == ((1, 1), (0, 1))
+
+    def test_exhaustive_beats_random_for_obd(self, fa_sum):
+        faults = obd_fault_universe(fa_sum, gate_types=[GateType.NAND2])
+        exhaustive = simulate_obd(fa_sum, exhaustive_pairs(fa_sum), faults)
+        random_report = simulate_obd(fa_sum, random_pairs(fa_sum, 10, seed=3), faults)
+        assert len(exhaustive.detected_faults) >= len(random_report.detected_faults)
+
+    def test_compaction_covers_all_detected(self, fa_sum):
+        faults = obd_fault_universe(fa_sum, gate_types=[GateType.NAND2])
+        report = simulate_obd(fa_sum, exhaustive_pairs(fa_sum), faults)
+        compaction = greedy_compaction(report)
+        assert set(compaction.covered_faults) == set(report.detected_faults)
+        assert compaction.size <= report.num_tests
+
+    def test_coverage_report_arithmetic(self, c17_circuit):
+        faults = list(stuck_at_universe(c17_circuit))
+        report = simulate_stuck_at(c17_circuit, exhaustive_patterns(c17_circuit), faults)
+        cov = coverage_from_report("sa", report)
+        assert cov.total_faults == len(faults)
+        assert cov.detected + cov.undetected == cov.total_faults
+        assert 0.0 <= cov.coverage <= 1.0
+        assert "sa" in cov.describe()
+
+    def test_pattern_sources(self, c17_circuit):
+        assert len(exhaustive_patterns(c17_circuit)) == 32
+        assert len(random_patterns(c17_circuit, 7, seed=1)) == 7
+        pairs = random_pairs(c17_circuit, 5, seed=2)
+        assert len(pairs) == 5 and all(a != b for a, b in pairs)
+        sic = single_input_change_pairs(c17_circuit)
+        assert all(sum(x != y for x, y in zip(a, b)) == 1 for a, b in sic)

@@ -1,0 +1,244 @@
+"""Tests for the gate-level substrate: gates, netlists, simulation, circuits,
+timing and transistor-level expansion."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import pytest
+
+from repro.logic import (
+    EventDrivenSimulator,
+    GateType,
+    LogicCircuit,
+    LogicCircuitError,
+    all_input_patterns,
+    all_input_transitions,
+    arrival_times,
+    c17,
+    controlling_value,
+    critical_path_delay,
+    enumerate_obd_sites,
+    enumerate_paths,
+    evaluate_gate,
+    expand_to_transistors,
+    full_adder,
+    full_adder_sum,
+    longest_path,
+    nand_chain,
+    output_values,
+    per_type_delay_model,
+    ripple_carry_adder,
+    simulate_pattern,
+    slack,
+    simulate,
+    transitions_between,
+    truth_table,
+    two_to_one_mux,
+    unit_delay_model,
+)
+from repro.spice import operating_point
+
+
+class TestGateEvaluation:
+    @pytest.mark.parametrize(
+        "gate,inputs,expected",
+        [
+            (GateType.INV, (0,), 1),
+            (GateType.INV, (1,), 0),
+            (GateType.NAND2, (1, 1), 0),
+            (GateType.NAND2, (0, 1), 1),
+            (GateType.NOR2, (0, 0), 1),
+            (GateType.NOR2, (1, 0), 0),
+            (GateType.XOR2, (1, 0), 1),
+            (GateType.XOR2, (1, 1), 0),
+            (GateType.AOI21, (1, 1, 0), 0),
+            (GateType.AOI21, (0, 1, 0), 1),
+            (GateType.OAI21, (0, 0, 1), 1),
+            (GateType.OAI21, (1, 0, 1), 0),
+            (GateType.NAND3, (1, 1, 1), 0),
+            (GateType.NOR3, (0, 0, 0), 1),
+        ],
+    )
+    def test_truth_values(self, gate, inputs, expected):
+        assert evaluate_gate(gate, inputs) == expected
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.NAND2, (1,))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.INV, (2,))
+
+    def test_truth_table_completeness(self):
+        table = truth_table(GateType.NAND2)
+        assert len(table) == 4
+        assert table[(1, 1)] == 0
+
+    def test_controlling_values(self):
+        assert controlling_value(GateType.NAND2) == 0
+        assert controlling_value(GateType.NOR3) == 1
+        assert controlling_value(GateType.XOR2) is None
+
+    def test_pattern_helpers(self):
+        assert len(all_input_patterns(3)) == 8
+        assert len(all_input_transitions(3)) == 56
+        assert all(v1 != v2 for v1, v2 in all_input_transitions(2))
+
+
+class TestLogicCircuit:
+    def test_duplicate_gate_rejected(self):
+        c = LogicCircuit("t")
+        c.add_input("a")
+        c.add_gate("g1", GateType.INV, ["a"], "x")
+        with pytest.raises(LogicCircuitError):
+            c.add_gate("g1", GateType.INV, ["a"], "y")
+
+    def test_double_driver_rejected(self):
+        c = LogicCircuit("t")
+        c.add_input("a")
+        c.add_gate("g1", GateType.INV, ["a"], "x")
+        with pytest.raises(LogicCircuitError):
+            c.add_gate("g2", GateType.INV, ["a"], "x")
+
+    def test_validate_catches_undriven_nets(self):
+        c = LogicCircuit("t")
+        c.add_input("a")
+        c.add_gate("g1", GateType.NAND2, ["a", "floating"], "x")
+        c.add_output("x")
+        with pytest.raises(LogicCircuitError):
+            c.validate()
+
+    def test_levelization_and_depth(self, fa_sum):
+        levels = fa_sum.levelize()
+        assert levels["A"] == 0
+        assert fa_sum.depth == 9
+
+    def test_driver_and_loads(self, c17_circuit):
+        gate = c17_circuit.driver_of("G22")
+        assert gate is not None and gate.name == "g22"
+        loads = c17_circuit.loads_of("G11")
+        assert {g.name for g, _ in loads} == {"g16", "g19"}
+
+    def test_fanin_fanout_cones(self, c17_circuit):
+        assert "G1" in c17_circuit.fanin_cone("G22")
+        assert "G22" in c17_circuit.fanout_cone("G10")
+
+    def test_gate_count_by_type(self, fa_sum):
+        assert fa_sum.gate_count(GateType.NAND2) == 14
+        assert fa_sum.gate_count() == 28
+
+
+class TestLogicSimulation:
+    def test_full_adder_sum_function(self, fa_sum):
+        for bits in product((0, 1), repeat=3):
+            expected = bits[0] ^ bits[1] ^ bits[2]
+            assert output_values(fa_sum, bits) == (expected,)
+
+    def test_full_adder_complete(self, fa_full):
+        for bits in product((0, 1), repeat=3):
+            s, cout = output_values(fa_full, bits)
+            assert s == bits[0] ^ bits[1] ^ bits[2]
+            assert cout == int(sum(bits) >= 2)
+
+    def test_ripple_carry_adder_arithmetic(self, rca4):
+        for a, b, ci in [(3, 5, 0), (15, 15, 1), (9, 6, 1), (0, 0, 0)]:
+            pattern = [(a >> i) & 1 for i in range(4)] + [(b >> i) & 1 for i in range(4)] + [ci]
+            outs = output_values(rca4, pattern)
+            total = sum(bit << i for i, bit in enumerate(outs[:4])) + (outs[4] << 4)
+            assert total == a + b + ci
+
+    def test_c17_known_vector(self, c17_circuit):
+        values = simulate(c17_circuit, {"G1": 1, "G2": 1, "G3": 0, "G6": 1, "G7": 0})
+        assert values["G22"] in (0, 1) and values["G23"] in (0, 1)
+
+    def test_missing_input_rejected(self, c17_circuit):
+        with pytest.raises(LogicCircuitError):
+            simulate(c17_circuit, {"G1": 1})
+
+    def test_wrong_pattern_width(self, c17_circuit):
+        with pytest.raises(LogicCircuitError):
+            simulate_pattern(c17_circuit, (1, 0))
+
+    def test_transitions_between(self, fa_sum):
+        changed = transitions_between(fa_sum, (0, 1, 1), (1, 1, 1))
+        assert changed["A"] == (0, 1)
+        assert "SUM" in changed  # 011 -> sum 0, 111 -> sum 1
+
+    def test_mux_function(self):
+        mux = two_to_one_mux()
+        for d0, d1, s in product((0, 1), repeat=3):
+            expected = d1 if s else d0
+            assert output_values(mux, (d0, d1, s)) == (expected,)
+
+    def test_event_driven_final_values_match_zero_delay(self, fa_sum):
+        sim = EventDrivenSimulator(fa_sum)
+        for first, second in [((0, 0, 0), (1, 0, 0)), ((1, 1, 0), (1, 1, 1))]:
+            result = sim.run(first, second)
+            steady = simulate_pattern(fa_sum, second)
+            assert result.final_value("SUM") == steady["SUM"]
+
+    def test_event_driven_arrival_reflects_depth(self):
+        chain = nand_chain(5)
+        sim = EventDrivenSimulator(chain)
+        result = sim.run((0, 1), (1, 1))
+        assert result.arrival_time("OUT") == pytest.approx(5.0)
+
+
+class TestTiming:
+    def test_unit_delay_critical_path(self, fa_sum):
+        assert critical_path_delay(fa_sum, unit_delay_model()) == pytest.approx(9.0)
+
+    def test_per_type_delays(self, fa_sum):
+        model = per_type_delay_model({GateType.NAND2: 2.0, GateType.INV: 1.0})
+        assert critical_path_delay(fa_sum, model) > critical_path_delay(fa_sum, unit_delay_model())
+
+    def test_arrival_times_monotone_with_level(self, fa_sum):
+        arrivals = arrival_times(fa_sum, unit_delay_model())
+        levels = fa_sum.levelize()
+        for net, level in levels.items():
+            assert arrivals[net] >= level * 0.0
+
+    def test_slack_positive_for_long_clock(self, fa_sum):
+        margins = slack(fa_sum, unit_delay_model(), clock_period=20.0)
+        assert margins["SUM"] == pytest.approx(11.0)
+
+    def test_longest_path_depth(self, fa_sum):
+        path = longest_path(fa_sum, unit_delay_model())
+        assert path.depth == 9
+        assert path.nets[-1] == "SUM"
+
+    def test_enumerate_paths_limit(self, fa_sum):
+        paths = enumerate_paths(fa_sum, limit=5)
+        assert len(paths) == 5
+
+
+class TestExpansion:
+    def test_site_enumeration_counts(self, fa_sum):
+        nand_sites = enumerate_obd_sites(fa_sum, gate_types=[GateType.NAND2])
+        assert len(nand_sites) == 56
+        all_sites = enumerate_obd_sites(fa_sum)
+        assert len(all_sites) == 56 + 2 * 14  # NANDs + inverters
+
+    def test_site_keys_unique(self, fa_sum):
+        sites = enumerate_obd_sites(fa_sum)
+        keys = [s.key for s in sites]
+        assert len(keys) == len(set(keys))
+
+    def test_expand_static_levels_match_logic(self, fa_sum, tech):
+        pattern = (1, 0, 1)
+        expanded = expand_to_transistors(
+            fa_sum, tech, input_levels=dict(zip(fa_sum.primary_inputs, pattern))
+        )
+        op = operating_point(expanded.circuit)
+        steady = simulate_pattern(fa_sum, pattern)
+        for net in ("SUM", "m1", "z1"):
+            voltage = op.voltage(net)
+            expected = steady[net]
+            assert (voltage > 0.8 * tech.vdd) == bool(expected), net
+
+    def test_expand_counts_cells(self, fa_sum, tech):
+        expanded = expand_to_transistors(fa_sum, tech)
+        assert len(expanded.cells) == len(fa_sum.gates)
+        assert len(expanded.circuit.mosfets()) == 14 * 4 + 14 * 2

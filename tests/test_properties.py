@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg import evaluate_gate_values, from_bit, simulate_with_forced_net
+from repro.core import (
+    BreakdownStage,
+    ProgressionModel,
+    excited_sites,
+    is_excited_obd,
+    is_exercised_em,
+    output_switches,
+)
+from repro.logic import (
+    GateType,
+    evaluate_gate,
+    full_adder_sum,
+    ripple_carry_adder,
+    simulate_pattern,
+)
+from repro.spice import Circuit, operating_point
+from repro.spice.waveform import Waveform
+
+import numpy as np
+
+FA_SUM = full_adder_sum()
+RCA3 = ripple_carry_adder(3)
+
+SIMPLE_GATES = [
+    GateType.INV,
+    GateType.NAND2,
+    GateType.NOR2,
+    GateType.NAND3,
+    GateType.NOR3,
+    GateType.AOI21,
+    GateType.OAI21,
+]
+
+bits = st.integers(min_value=0, max_value=1)
+
+
+def pattern_strategy(width: int):
+    return st.tuples(*([bits] * width))
+
+
+# --------------------------------------------------------------------------- #
+# Logic-level invariants.
+# --------------------------------------------------------------------------- #
+@given(st.sampled_from(SIMPLE_GATES), st.data())
+def test_five_valued_algebra_agrees_with_boolean(gate_type, data):
+    """The 5-valued evaluation restricted to known values matches Boolean eval."""
+    inputs = data.draw(pattern_strategy(gate_type.num_inputs))
+    expected = evaluate_gate(gate_type, inputs)
+    value = evaluate_gate_values(gate_type, [from_bit(b) for b in inputs])
+    assert value.good == expected
+    assert value.faulty == expected
+
+
+@given(pattern_strategy(3), pattern_strategy(3))
+def test_full_adder_sum_matches_xor(first, second):
+    values1 = simulate_pattern(FA_SUM, first)
+    values2 = simulate_pattern(FA_SUM, second)
+    assert values1["SUM"] == first[0] ^ first[1] ^ first[2]
+    assert values2["SUM"] == second[0] ^ second[1] ^ second[2]
+
+
+@given(st.integers(0, 7), st.integers(0, 7), bits)
+def test_ripple_carry_adder_is_an_adder(a, b, carry):
+    pattern = [(a >> i) & 1 for i in range(3)] + [(b >> i) & 1 for i in range(3)] + [carry]
+    values = simulate_pattern(RCA3, pattern)
+    total = sum(values[f"S{i}"] << i for i in range(3)) + (values["COUT"] << 3)
+    assert total == a + b + carry
+
+
+@given(pattern_strategy(3), st.sampled_from([g.output for g in FA_SUM.gates]))
+def test_forcing_a_net_to_its_own_value_changes_nothing(pattern, net):
+    good = simulate_pattern(FA_SUM, pattern)
+    forced = simulate_with_forced_net(FA_SUM, pattern, net, good[net])
+    assert forced == good
+
+
+# --------------------------------------------------------------------------- #
+# Excitation-rule invariants (Sections 4.1 / 5).
+# --------------------------------------------------------------------------- #
+@given(st.sampled_from(SIMPLE_GATES), st.data())
+def test_obd_excitation_implies_em_exercise_and_output_switch(gate_type, data):
+    width = gate_type.num_inputs
+    v1 = data.draw(pattern_strategy(width))
+    v2 = data.draw(pattern_strategy(width))
+    if v1 == v2:
+        return
+    sequence = (v1, v2)
+    for site in excited_sites(gate_type, sequence, mode="obd"):
+        assert is_exercised_em(gate_type, site, sequence)
+        assert output_switches(gate_type, sequence)
+
+
+@given(st.sampled_from(SIMPLE_GATES), st.data())
+def test_at_most_one_parallel_pullup_site_excited_per_rising_edge(gate_type, data):
+    """For NAND-like gates, a rising output excites at most one PMOS defect."""
+    if gate_type not in (GateType.NAND2, GateType.NAND3):
+        return
+    width = gate_type.num_inputs
+    v1 = data.draw(pattern_strategy(width))
+    v2 = data.draw(pattern_strategy(width))
+    if v1 == v2:
+        return
+    pmos_sites = [s for s in excited_sites(gate_type, (v1, v2)) if s.startswith("P")]
+    assert len(pmos_sites) <= 1
+
+
+# --------------------------------------------------------------------------- #
+# Progression-model invariants.
+# --------------------------------------------------------------------------- #
+@given(
+    st.sampled_from(["n", "p"]),
+    st.floats(min_value=0.0, max_value=27 * 3600.0),
+    st.floats(min_value=0.0, max_value=27 * 3600.0),
+)
+def test_progression_is_monotonic_in_time(polarity, t1, t2):
+    model = ProgressionModel(polarity)
+    early, late = min(t1, t2), max(t1, t2)
+    assert model.saturation_current_at(late) >= model.saturation_current_at(early)
+    assert model.resistance_at(late) <= model.resistance_at(early)
+    assert model.stage_at(late).order >= model.stage_at(early).order
+
+
+@given(st.sampled_from(["n", "p"]), st.sampled_from(list(BreakdownStage)))
+def test_stage_times_lie_inside_the_progression(polarity, stage):
+    model = ProgressionModel(polarity)
+    t = model.time_of_stage(stage)
+    assert model.onset_time <= t <= model.hbd_time
+
+
+# --------------------------------------------------------------------------- #
+# Analog substrate invariants.
+# --------------------------------------------------------------------------- #
+@given(
+    st.floats(min_value=10.0, max_value=1e6),
+    st.floats(min_value=10.0, max_value=1e6),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_resistive_divider_solution(r1, r2, vin):
+    circuit = Circuit("divider")
+    circuit.add_voltage_source("vin", "a", "0", dc=vin)
+    circuit.add_resistor("r1", "a", "b", r1)
+    circuit.add_resistor("r2", "b", "0", r2)
+    op = operating_point(circuit)
+    expected = vin * r2 / (r1 + r2)
+    assert abs(op.voltage("b") - expected) < 1e-6 + 1e-3 * abs(expected)
+
+
+@given(st.lists(st.floats(min_value=-5.0, max_value=5.0), min_size=2, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_waveform_crossings_alternate(values):
+    wave = Waveform(np.arange(len(values), dtype=float), np.array(values))
+    rising = wave.crossings(0.0, "rising")
+    falling = wave.crossings(0.0, "falling")
+    # Crossings at identical times (the signal touching the threshold exactly
+    # at a sample point produces a rising and a falling crossing at the same
+    # instant) are excluded: their relative order is arbitrary.
+    touches = set(rising) & set(falling)
+    merged = sorted(
+        [(t, "r") for t in rising if t not in touches]
+        + [(t, "f") for t in falling if t not in touches]
+    )
+    # The remaining crossings of the same threshold must alternate direction.
+    for (_, kind_a), (_, kind_b) in zip(merged, merged[1:]):
+        assert kind_a != kind_b

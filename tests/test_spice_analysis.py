@@ -1,0 +1,257 @@
+"""Tests for the MNA analyses: operating point, DC sweep, transient, waveforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    AnalysisError,
+    Circuit,
+    DiodeModel,
+    PiecewiseLinearWaveform,
+    SolverOptions,
+    TransientOptions,
+    Waveform,
+    dc_sweep,
+    operating_point,
+    propagation_delay,
+    transient,
+)
+from repro.spice.analysis.mna import MnaSystem
+from repro.spice.errors import CircuitError
+
+
+def _divider() -> Circuit:
+    c = Circuit("divider")
+    c.add_voltage_source("vin", "a", "0", dc=3.0)
+    c.add_resistor("r1", "a", "b", 1000.0)
+    c.add_resistor("r2", "b", "0", 2000.0)
+    return c
+
+
+def _inverter(tech) -> Circuit:
+    c = Circuit("inv")
+    c.add_voltage_source("vdd", "vdd", "0", dc=tech.vdd)
+    c.add_voltage_source("vin", "in", "0", dc=0.0)
+    c.add_mosfet("mp", "out", "in", "vdd", "vdd", tech.pmos, tech.pmos_width, tech.length)
+    c.add_mosfet("mn", "out", "in", "0", "0", tech.nmos, tech.nmos_width, tech.length)
+    return c
+
+
+class TestMnaSystem:
+    def test_node_indexing(self):
+        system = MnaSystem(_divider())
+        assert system.num_nodes == 2
+        assert system.num_branches == 1
+        assert system.node_index("0") == -1
+
+    def test_unknown_node_raises(self):
+        system = MnaSystem(_divider())
+        with pytest.raises(CircuitError):
+            system.node_index("zzz")
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(CircuitError):
+            MnaSystem(Circuit("empty"))
+
+
+class TestOperatingPoint:
+    def test_resistive_divider(self):
+        op = operating_point(_divider())
+        assert op.voltage("b") == pytest.approx(2.0, rel=1e-6)
+        assert op.voltage("a") == pytest.approx(3.0, rel=1e-6)
+
+    def test_source_current(self):
+        op = operating_point(_divider())
+        assert op.current("vin") == pytest.approx(-1e-3, rel=1e-6)
+
+    def test_diode_resistor(self):
+        c = Circuit("d")
+        c.add_voltage_source("v1", "a", "0", dc=3.3)
+        c.add_resistor("r", "a", "d", 1000.0)
+        c.add_diode("d1", "d", "0", DiodeModel(saturation_current=1e-14))
+        op = operating_point(c)
+        assert 0.55 < op.voltage("d") < 0.8
+
+    def test_cmos_inverter_levels(self, tech):
+        c = _inverter(tech)
+        op_low = operating_point(c)
+        assert op_low.voltage("out") == pytest.approx(tech.vdd, abs=1e-3)
+        c["vin"].dc = tech.vdd
+        op_high = operating_point(c)
+        assert op_high.voltage("out") == pytest.approx(0.0, abs=1e-3)
+
+    def test_initial_guess_accepted(self):
+        op = operating_point(_divider(), initial_guess={"b": 2.0})
+        assert op.voltage("b") == pytest.approx(2.0, rel=1e-6)
+
+    def test_kcl_residual_is_small(self, tech):
+        """The solution satisfies KCL at internal nodes (flat rebuild check)."""
+        c = _inverter(tech)
+        c["vin"].dc = 1.5
+        op = operating_point(c)
+        # Re-evaluate device currents at the solved voltages.
+        v = {n: op.voltage(n) for n in c.nodes()}
+        v["0"] = 0.0
+        mn, mp = c["mn"], c["mp"]
+        i_n = mn.drain_current(v["out"], v["in"], 0.0, 0.0)
+        i_p = mp.drain_current(v["out"], v["in"], v["vdd"], v["vdd"])
+        assert i_n + i_p == pytest.approx(0.0, abs=1e-6)
+
+
+class TestDcSweep:
+    def test_inverter_vtc_monotone_decreasing(self, tech):
+        c = _inverter(tech)
+        result = dc_sweep(c, "vin", np.linspace(0.0, tech.vdd, 23), record_nodes=["out"])
+        out = result.voltages["out"]
+        assert out[0] == pytest.approx(tech.vdd, abs=5e-3)
+        assert out[-1] == pytest.approx(0.0, abs=5e-3)
+        assert all(b <= a + 1e-6 for a, b in zip(out, out[1:]))
+
+    def test_sweep_restores_source_value(self, tech):
+        c = _inverter(tech)
+        original = c["vin"].dc
+        dc_sweep(c, "vin", [0.0, 1.0, 2.0], record_nodes=["out"])
+        assert c["vin"].dc == original
+
+    def test_sweep_requires_voltage_source(self, tech):
+        c = _inverter(tech)
+        with pytest.raises(AnalysisError):
+            dc_sweep(c, "mn", [0.0, 1.0])
+
+    def test_sweep_rejects_empty_values(self, tech):
+        c = _inverter(tech)
+        with pytest.raises(AnalysisError):
+            dc_sweep(c, "vin", [])
+
+    def test_transfer_curve_lookup(self, tech):
+        c = _inverter(tech)
+        result = dc_sweep(c, "vin", np.linspace(0.0, tech.vdd, 12), record_nodes=["out"])
+        curve = result.transfer_curve("out")
+        assert curve.at(0.0) == pytest.approx(tech.vdd, abs=5e-3)
+        with pytest.raises(AnalysisError):
+            result.transfer_curve("nope")
+
+
+class TestTransient:
+    def test_rc_charging(self):
+        c = Circuit("rc")
+        wf = PiecewiseLinearWaveform([(0.0, 0.0), (1e-12, 1.0)])
+        c.add_voltage_source("v1", "a", "0", waveform=wf)
+        c.add_resistor("r1", "a", "b", 1000.0)
+        c.add_capacitor("c1", "b", "0", 1e-12)
+        tau = 1e-9
+        result = transient(c, 5 * tau, 10e-12, record_nodes=["b"])
+        wave = result.waveform("b")
+        assert wave.at(tau) == pytest.approx(1.0 - np.exp(-1.0), rel=0.05)
+        assert wave.final_value() == pytest.approx(1.0, rel=0.01)
+
+    def test_rc_trapezoidal_matches_analytic(self):
+        c = Circuit("rc")
+        wf = PiecewiseLinearWaveform([(0.0, 0.0), (1e-12, 1.0)])
+        c.add_voltage_source("v1", "a", "0", waveform=wf)
+        c.add_resistor("r1", "a", "b", 1000.0)
+        c.add_capacitor("c1", "b", "0", 1e-12)
+        options = TransientOptions(method="trapezoidal")
+        result = transient(c, 3e-9, 10e-12, options=options, record_nodes=["b"])
+        assert result.waveform("b").at(1e-9) == pytest.approx(1.0 - np.exp(-1.0), rel=0.03)
+
+    def test_inverter_switching(self, tech):
+        c = _inverter(tech)
+        c.remove("vin")
+        wf = PiecewiseLinearWaveform([(0, 0.0), (1e-9, 0.0), (1.05e-9, tech.vdd)])
+        c.add_voltage_source("vin", "in", "0", waveform=wf)
+        c.add_capacitor("cl", "out", "0", 10e-15)
+        result = transient(c, 2.5e-9, 5e-12, record_nodes=["in", "out"])
+        out = result.waveform("out")
+        assert out.initial_value() == pytest.approx(tech.vdd, abs=0.05)
+        assert out.final_value() == pytest.approx(0.0, abs=0.05)
+        delay = propagation_delay(result.waveform("in"), out, tech.vdd / 2, "rising", "falling")
+        assert delay is not None and 1e-12 < delay < 300e-12
+
+    def test_invalid_arguments(self, tech):
+        c = _inverter(tech)
+        with pytest.raises(AnalysisError):
+            transient(c, -1e-9, 1e-12)
+        with pytest.raises(AnalysisError):
+            transient(c, 1e-9, 2e-9)
+
+    def test_record_subset(self, tech):
+        c = _inverter(tech)
+        result = transient(c, 0.1e-9, 10e-12, record_nodes=["out"])
+        assert result.nodes == ["out"]
+        with pytest.raises(AnalysisError):
+            result.waveform("in")
+
+    def test_decimation_reduces_samples(self, tech):
+        c = _inverter(tech)
+        dense = transient(c, 0.2e-9, 5e-12, record_nodes=["out"])
+        sparse = transient(
+            c, 0.2e-9, 5e-12, options=TransientOptions(decimation=4), record_nodes=["out"]
+        )
+        assert len(sparse.time) < len(dense.time)
+
+
+class TestWaveform:
+    def test_crossing_detection(self):
+        w = Waveform(np.array([0.0, 1.0, 2.0, 3.0]), np.array([0.0, 1.0, 0.0, 1.0]))
+        assert w.crossings(0.5, "rising") == pytest.approx([0.5, 2.5])
+        assert w.crossings(0.5, "falling") == pytest.approx([1.5])
+        assert w.crossings(0.5) == pytest.approx([0.5, 1.5, 2.5])
+
+    def test_first_crossing_after(self):
+        w = Waveform(np.array([0.0, 1.0, 2.0, 3.0]), np.array([0.0, 1.0, 0.0, 1.0]))
+        assert w.first_crossing(0.5, "rising", after=1.0) == pytest.approx(2.5)
+        assert w.first_crossing(2.0, "rising") is None
+
+    def test_interpolation_and_slice(self):
+        w = Waveform(np.array([0.0, 1.0, 2.0]), np.array([0.0, 2.0, 4.0]))
+        assert w.at(0.5) == pytest.approx(1.0)
+        piece = w.slice(0.5, 1.5)
+        assert piece.t_start == pytest.approx(0.5)
+        assert piece.t_stop == pytest.approx(1.5)
+        assert piece.initial_value() == pytest.approx(1.0)
+
+    def test_rise_and_fall_times(self):
+        t = np.linspace(0.0, 1.0, 101)
+        w = Waveform(t, t.copy())
+        rise = w.rise_time(0.1, 0.9)
+        assert rise == pytest.approx(0.8, rel=1e-3)
+        falling = Waveform(t, 1.0 - t)
+        assert falling.fall_time(0.9, 0.1) == pytest.approx(0.8, rel=1e-3)
+
+    def test_propagation_delay_none_when_stuck(self):
+        t = np.linspace(0.0, 1.0, 11)
+        inp = Waveform(t, t)
+        flat = Waveform(t, np.zeros_like(t))
+        assert propagation_delay(inp, flat, 0.5, "rising", "rising") is None
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 1.0]), np.array([0.0]))
+
+    def test_non_monotonic_time_rejected(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 2.0, 1.0]), np.array([0.0, 1.0, 2.0]))
+
+    def test_shifted(self):
+        w = Waveform(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+        assert w.shifted(0.5).t_start == pytest.approx(0.5)
+
+
+class TestSolverRobustness:
+    def test_breakdown_network_converges(self, tech):
+        """The OBD diode network with extreme parameters still solves."""
+        c = _inverter(tech)
+        c["vin"].dc = tech.vdd
+        c.add_resistor("obd_r", "in", "x", 0.05)
+        c.add_diode("obd_d1", "x", "0", DiodeModel(saturation_current=2e-24))
+        c.add_diode("obd_d2", "x", "out", DiodeModel(saturation_current=2e-24))
+        c.add_resistor("obd_rsub", "x", "0", 10e6)
+        op = operating_point(c)
+        assert 0.0 <= op.voltage("x") <= tech.vdd + 0.1
+
+    def test_solver_options_respected(self):
+        op = operating_point(_divider(), options=SolverOptions(max_iterations=5))
+        assert op.voltage("b") == pytest.approx(2.0, rel=1e-6)

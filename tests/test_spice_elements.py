@@ -1,0 +1,298 @@
+"""Unit tests for the SPICE element models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.spice import Circuit, CircuitError
+from repro.spice.elements import (
+    Capacitor,
+    Diode,
+    DiodeModel,
+    Mosfet,
+    MosfetModel,
+    PiecewiseLinearWaveform,
+    PulseWaveform,
+    Resistor,
+    Stamper,
+    StampContext,
+    THERMAL_VOLTAGE,
+    VoltageSource,
+    is_ground,
+    two_pattern_waveform,
+)
+
+
+class TestResistor:
+    def test_conductance(self):
+        r = Resistor("r1", "a", "b", 2000.0)
+        assert r.conductance == pytest.approx(5e-4)
+
+    def test_current_direction(self):
+        r = Resistor("r1", "a", "b", 100.0)
+        assert r.current(1.0, 0.0) == pytest.approx(0.01)
+        assert r.current(0.0, 1.0) == pytest.approx(-0.01)
+
+    @pytest.mark.parametrize("bad", [0.0, -10.0])
+    def test_rejects_nonpositive_resistance(self, bad):
+        with pytest.raises(ValueError):
+            Resistor("r1", "a", "b", bad)
+
+    def test_stamp_symmetry(self):
+        r = Resistor("r1", "a", "b", 1000.0)
+        r.assign_indices((0, 1))
+        stamper = Stamper(2)
+        r.stamp(stamper, StampContext())
+        g = 1e-3
+        assert stamper.matrix[0, 0] == pytest.approx(g)
+        assert stamper.matrix[1, 1] == pytest.approx(g)
+        assert stamper.matrix[0, 1] == pytest.approx(-g)
+        assert stamper.matrix[1, 0] == pytest.approx(-g)
+
+    def test_stamp_to_ground_drops_row(self):
+        r = Resistor("r1", "a", "0", 1000.0)
+        r.assign_indices((0, -1))
+        stamper = Stamper(1)
+        r.stamp(stamper, StampContext())
+        assert stamper.matrix[0, 0] == pytest.approx(1e-3)
+
+
+class TestCapacitor:
+    def test_rejects_negative_capacitance(self):
+        with pytest.raises(ValueError):
+            Capacitor("c1", "a", "b", -1e-15)
+
+    def test_open_in_dc(self):
+        c = Capacitor("c1", "a", "b", 1e-12)
+        c.assign_indices((0, 1))
+        stamper = Stamper(2)
+        c.stamp(stamper, StampContext(mode="dc"))
+        assert stamper.matrix[0, 0] == 0.0
+
+    def test_backward_euler_companion(self):
+        import numpy as np
+
+        c = Capacitor("c1", "a", "0", 1e-12)
+        c.assign_indices((0, -1))
+        stamper = Stamper(1)
+        ctx = StampContext(mode="tran", dt=1e-12, x_prev=np.array([2.0]), method="backward_euler")
+        c.stamp(stamper, ctx)
+        geq = 1e-12 / 1e-12
+        assert stamper.matrix[0, 0] == pytest.approx(geq)
+        # RHS injects geq * v_prev into node a.
+        assert stamper.rhs[0] == pytest.approx(geq * 2.0)
+
+    def test_trapezoidal_uses_stored_current(self):
+        import numpy as np
+
+        c = Capacitor("c1", "a", "0", 1e-12)
+        c.assign_indices((0, -1))
+        ctx = StampContext(
+            mode="tran", dt=1e-12, x_prev=np.array([1.0]), method="trapezoidal",
+            state={"c1": {"current": 5e-3}},
+        )
+        stamper = Stamper(1)
+        c.stamp(stamper, ctx)
+        geq = 2e-12 / 1e-12
+        assert stamper.matrix[0, 0] == pytest.approx(geq)
+        assert stamper.rhs[0] == pytest.approx(geq * 1.0 + 5e-3)
+
+
+class TestDiode:
+    def test_forward_current_matches_shockley(self):
+        model = DiodeModel(saturation_current=1e-14)
+        d = Diode("d1", "a", "c", model)
+        vd = 0.6
+        current, conductance = d.evaluate(vd)
+        expected = 1e-14 * (math.exp(vd / THERMAL_VOLTAGE) - 1.0)
+        assert current == pytest.approx(expected, rel=1e-9)
+        assert conductance > 0.0
+
+    def test_reverse_current_saturates(self):
+        d = Diode("d1", "a", "c", DiodeModel(saturation_current=1e-14))
+        current, _ = d.evaluate(-2.0)
+        assert current == pytest.approx(-1e-14, rel=1e-6)
+
+    def test_linearized_above_critical_voltage(self):
+        model = DiodeModel(saturation_current=1e-30)
+        d = Diode("d1", "a", "c", model)
+        vcrit = model.critical_voltage
+        i_below, g_below = d.evaluate(vcrit - 0.01)
+        i_above, g_above = d.evaluate(vcrit + 0.5)
+        # Above vcrit the conductance stops growing exponentially.
+        assert g_above == pytest.approx(d.evaluate(vcrit + 1.0)[1], rel=1e-9)
+        assert i_above > i_below
+
+    def test_monotonic_current(self):
+        d = Diode("d1", "a", "c", DiodeModel(saturation_current=1e-29))
+        voltages = [-1.0, 0.0, 0.5, 1.0, 1.5, 2.0, 3.0]
+        currents = [d.evaluate(v)[0] for v in voltages]
+        assert all(b >= a for a, b in zip(currents, currents[1:]))
+
+    @pytest.mark.parametrize("isat,ideality", [(-1e-15, 1.0), (1e-15, 0.0)])
+    def test_model_validation(self, isat, ideality):
+        with pytest.raises(ValueError):
+            DiodeModel(saturation_current=isat, ideality=ideality)
+
+
+class TestMosfet:
+    @pytest.fixture
+    def nmos(self):
+        return MosfetModel(polarity="n", vto=0.6, kp=120e-6, lambda_=0.0, gamma=0.0)
+
+    @pytest.fixture
+    def pmos(self):
+        return MosfetModel(polarity="p", vto=-0.7, kp=40e-6, lambda_=0.0, gamma=0.0)
+
+    def test_cutoff(self, nmos):
+        m = Mosfet("m1", "d", "g", "s", "b", nmos, 1e-6, 0.35e-6)
+        op = m.evaluate(vd=3.3, vg=0.0, vs=0.0, vb=0.0)
+        assert op.region == "cutoff"
+        assert op.ids == 0.0
+
+    def test_saturation_square_law(self, nmos):
+        m = Mosfet("m1", "d", "g", "s", "b", nmos, 1e-6, 0.35e-6)
+        vgs, vds = 2.0, 3.0
+        op = m.evaluate(vd=vds, vg=vgs, vs=0.0, vb=0.0)
+        beta = 120e-6 * (1e-6 / 0.35e-6)
+        expected = 0.5 * beta * (vgs - 0.6) ** 2
+        assert op.region == "saturation"
+        assert op.ids == pytest.approx(expected, rel=1e-9)
+
+    def test_linear_region(self, nmos):
+        m = Mosfet("m1", "d", "g", "s", "b", nmos, 1e-6, 0.35e-6)
+        op = m.evaluate(vd=0.1, vg=3.3, vs=0.0, vb=0.0)
+        beta = 120e-6 * (1e-6 / 0.35e-6)
+        expected = beta * ((3.3 - 0.6) * 0.1 - 0.5 * 0.1**2)
+        assert op.region == "linear"
+        assert op.ids == pytest.approx(expected, rel=1e-9)
+
+    def test_source_drain_swap(self, nmos):
+        m = Mosfet("m1", "d", "g", "s", "b", nmos, 1e-6, 0.35e-6)
+        forward = m.drain_current(vd=1.0, vg=3.3, vs=0.0, vb=0.0)
+        reverse = m.drain_current(vd=0.0, vg=3.3, vs=1.0, vb=1.0)
+        assert forward > 0.0
+        assert reverse == pytest.approx(-forward, rel=1e-6)
+
+    def test_pmos_current_sign(self, pmos):
+        m = Mosfet("m1", "d", "g", "s", "b", pmos, 2e-6, 0.35e-6)
+        # PMOS with source at 3.3 V, gate at 0, drain at 0: conducts, current
+        # flows out of the drain terminal (negative drain current).
+        current = m.drain_current(vd=0.0, vg=0.0, vs=3.3, vb=3.3)
+        assert current < 0.0
+
+    def test_pmos_cutoff(self, pmos):
+        m = Mosfet("m1", "d", "g", "s", "b", pmos, 2e-6, 0.35e-6)
+        op = m.evaluate(vd=0.0, vg=3.3, vs=3.3, vb=3.3)
+        assert op.region == "cutoff"
+
+    def test_body_effect_raises_threshold(self):
+        model = MosfetModel(polarity="n", vto=0.6, kp=120e-6, gamma=0.5, phi=0.7, lambda_=0.0)
+        m = Mosfet("m1", "d", "g", "s", "b", model, 1e-6, 0.35e-6)
+        with_body = m.evaluate(vd=3.3, vg=2.5, vs=1.0, vb=0.0)
+        without_body = m.evaluate(vd=3.3, vg=2.5, vs=1.0, vb=1.0)
+        assert with_body.ids < without_body.ids
+
+    def test_capacitances_scale_with_area(self):
+        model = MosfetModel()
+        small = model.capacitances(1e-6, 0.35e-6)
+        large = model.capacitances(2e-6, 0.35e-6)
+        assert large["cgs"] > small["cgs"]
+        assert set(small) == {"cgs", "cgd", "cgb", "cdb", "csb"}
+
+    def test_invalid_geometry_rejected(self, nmos):
+        with pytest.raises(ValueError):
+            Mosfet("m1", "d", "g", "s", "b", nmos, -1e-6, 0.35e-6)
+
+    def test_invalid_polarity_rejected(self):
+        with pytest.raises(ValueError):
+            MosfetModel(polarity="x")
+
+
+class TestSources:
+    def test_dc_value(self):
+        v = VoltageSource("v1", "a", "0", dc=2.5)
+        assert v.value(0.0) == 2.5
+        assert v.value(1e-9) == 2.5
+
+    def test_pwl_interpolation(self):
+        wf = PiecewiseLinearWaveform([(0, 0.0), (1e-9, 0.0), (2e-9, 3.3)])
+        assert wf(0.5e-9) == pytest.approx(0.0)
+        assert wf(1.5e-9) == pytest.approx(1.65)
+        assert wf(5e-9) == pytest.approx(3.3)
+
+    def test_pwl_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearWaveform([(1e-9, 0.0), (0.5e-9, 1.0)])
+
+    def test_pulse_waveform_shape(self):
+        wf = PulseWaveform(0.0, 3.3, delay=1e-9, rise=0.1e-9, fall=0.1e-9, width=1e-9, period=4e-9)
+        assert wf(0.0) == 0.0
+        assert wf(1.05e-9) == pytest.approx(1.65, rel=0.1)
+        assert wf(1.5e-9) == pytest.approx(3.3)
+        assert wf(2.5e-9) == pytest.approx(0.0)
+        # Periodic repetition.
+        assert wf(5.5e-9) == pytest.approx(3.3)
+
+    def test_two_pattern_waveform(self):
+        wf = two_pattern_waveform(0.0, 3.3, switch_time=2e-9, transition_time=0.1e-9)
+        assert wf(1e-9) == 0.0
+        assert wf(3e-9) == pytest.approx(3.3)
+
+    def test_waveform_overrides_dc(self):
+        wf = PiecewiseLinearWaveform([(0, 1.0)])
+        v = VoltageSource("v1", "a", "0", dc=9.9, waveform=wf)
+        assert v.value(0.0) == 1.0
+
+
+class TestCircuitContainer:
+    def test_duplicate_names_rejected(self):
+        c = Circuit("t")
+        c.add_resistor("r1", "a", "b", 100.0)
+        with pytest.raises(CircuitError):
+            c.add_resistor("r1", "a", "b", 100.0)
+
+    def test_nodes_exclude_ground(self):
+        c = Circuit("t")
+        c.add_resistor("r1", "a", "0", 100.0)
+        c.add_resistor("r2", "a", "gnd", 100.0)
+        assert c.nodes() == ["a"]
+
+    def test_remove_element(self):
+        c = Circuit("t")
+        c.add_resistor("r1", "a", "b", 100.0)
+        c.remove("r1")
+        assert "r1" not in c
+        with pytest.raises(CircuitError):
+            c.remove("r1")
+
+    def test_clone_is_independent(self):
+        c = Circuit("t")
+        c.add_resistor("r1", "a", "b", 100.0)
+        clone = c.clone()
+        clone.remove("r1")
+        assert "r1" in c and "r1" not in clone
+
+    def test_add_mosfet_adds_parasitic_caps(self, tech):
+        c = Circuit("t")
+        c.add_mosfet("m1", "d", "g", "s", "b", tech.nmos, 1e-6, 0.35e-6)
+        assert "m1:cgs" in c
+        assert "m1:cgd" in c
+
+    def test_add_mosfet_without_caps(self, tech):
+        c = Circuit("t")
+        c.add_mosfet("m1", "d", "g", "s", "b", tech.nmos, 1e-6, 0.35e-6, with_caps=False)
+        assert "m1:cgs" not in c
+
+    def test_summary_counts(self):
+        c = Circuit("demo")
+        c.add_resistor("r1", "a", "0", 100.0)
+        c.add_voltage_source("v1", "a", "0", dc=1.0)
+        text = c.summary()
+        assert "Resistor" in text and "VoltageSource" in text
+
+    def test_is_ground_names(self):
+        assert is_ground("0") and is_ground("gnd") and is_ground("GND")
+        assert not is_ground("out")

@@ -1,0 +1,181 @@
+"""Tests for the concurrent-testing layer and (fast) experiment smoke tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BreakdownStage, ProgressionModel
+from repro.experiments import (
+    run_adder_stats,
+    run_atpg_complexity,
+    run_em_comparison,
+    run_fig4,
+    run_nand_conditions,
+    run_nor_conditions,
+    run_progression_window,
+    run_upstream_stress,
+)
+from repro.logic import c17
+from repro.testing import (
+    CaptureModel,
+    StageDelay,
+    attempts_with_period,
+    detectability_threshold,
+    detection_window,
+    first_detectable_stage,
+    maximum_test_period,
+    required_periods,
+    schedule_for_window,
+    window_versus_slack,
+)
+
+STAGE_DELAYS = (
+    StageDelay(BreakdownStage.FAULT_FREE, 70e-12),
+    StageDelay(BreakdownStage.SBD, 80e-12),
+    StageDelay(BreakdownStage.MBD1, 150e-12),
+    StageDelay(BreakdownStage.MBD2, 250e-12),
+    StageDelay(BreakdownStage.MBD3, 330e-12),
+    StageDelay(BreakdownStage.HBD, None, stuck=True),
+)
+
+
+class TestDetectionWindow:
+    def test_threshold(self):
+        assert detectability_threshold(70e-12, 30e-12) == pytest.approx(100e-12)
+        with pytest.raises(ValueError):
+            detectability_threshold(-1.0, 0.0)
+
+    def test_first_detectable_stage_depends_on_slack(self):
+        tight = first_detectable_stage(STAGE_DELAYS, 70e-12, 20e-12)
+        loose = first_detectable_stage(STAGE_DELAYS, 70e-12, 200e-12)
+        assert tight == BreakdownStage.MBD1
+        assert loose == BreakdownStage.MBD3
+        assert tight.order < loose.order
+
+    def test_stuck_stage_always_detectable(self):
+        stage = first_detectable_stage(STAGE_DELAYS, 70e-12, 10.0)
+        assert stage == BreakdownStage.HBD
+
+    def test_window_shrinks_with_slack(self):
+        model = ProgressionModel("n")
+        windows = window_versus_slack(model, STAGE_DELAYS, 70e-12, [20e-12, 100e-12, 200e-12])
+        durations = [windows[s].duration for s in sorted(windows)]
+        assert all(b <= a for a, b in zip(durations, durations[1:]))
+
+    def test_window_description(self):
+        model = ProgressionModel("n")
+        window = detection_window(model, STAGE_DELAYS, 70e-12, 50e-12)
+        assert window.exists
+        assert "window opens" in window.describe()
+
+    def test_empty_window_when_never_observable(self):
+        delays = (StageDelay(BreakdownStage.MBD1, 71e-12),)
+        model = ProgressionModel("n")
+        window = detection_window(model, delays, 70e-12, 10.0)
+        assert not window.exists
+        assert window.duration == 0.0
+
+
+class TestScheduler:
+    def _window(self):
+        model = ProgressionModel("n")
+        return detection_window(model, STAGE_DELAYS, 70e-12, 50e-12)
+
+    def test_maximum_period(self):
+        window = self._window()
+        assert maximum_test_period(window, attempts=1) == pytest.approx(window.duration)
+        assert maximum_test_period(window, attempts=4) == pytest.approx(window.duration / 4)
+        with pytest.raises(ValueError):
+            maximum_test_period(window, attempts=0)
+
+    def test_schedule_overhead(self):
+        schedule = schedule_for_window(self._window(), test_duration=1e-3, attempts=2)
+        assert 0.0 < schedule.overhead < 1.0
+        assert "test every" in schedule.describe()
+
+    def test_attempts_with_period(self):
+        window = self._window()
+        assert attempts_with_period(window, window.duration / 3.5) == 3
+        with pytest.raises(ValueError):
+            attempts_with_period(window, 0.0)
+
+    def test_required_periods_takes_minimum(self):
+        window = self._window()
+        assert required_periods([window, window], attempts=2) == pytest.approx(window.duration / 2)
+
+
+class TestCaptureModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CaptureModel(clock_period=0.0)
+        with pytest.raises(ValueError):
+            CaptureModel(clock_period=1e-9, capture_fraction=1.5)
+
+    def test_early_capture_sees_earlier_stage(self):
+        late = CaptureModel(clock_period=1e-9, capture_fraction=1.0)
+        early = CaptureModel(clock_period=1e-9, capture_fraction=0.2)
+        late_stage = late.first_observable_stage(STAGE_DELAYS, 70e-12)
+        early_stage = early.first_observable_stage(STAGE_DELAYS, 70e-12)
+        assert early_stage is not None
+        assert late_stage is None or early_stage.order <= late_stage.order
+
+    def test_observes(self):
+        capture = CaptureModel(clock_period=1e-9, capture_fraction=0.5)
+        assert capture.observes(400e-12, 200e-12)
+        assert not capture.observes(100e-12, 100e-12)
+        assert capture.slack_for_path(400e-12) == pytest.approx(100e-12)
+
+
+class TestExperimentsFast:
+    """Smoke tests of the experiment drivers (analytical / coarse settings)."""
+
+    def test_nand_conditions_match_paper(self):
+        result = run_nand_conditions()
+        assert result.paper_set_covers_all
+        assert result.matches_paper_structure
+
+    def test_nor_conditions_match_paper(self):
+        result = run_nor_conditions()
+        assert result.paper_set_covers_all
+        assert result.matches_paper_structure
+
+    def test_adder_stats_headline_numbers(self):
+        stats = run_adder_stats()
+        assert stats.nand_gates == 14
+        assert stats.total_sites == 56
+        assert stats.untestable > 0  # redundancy makes some faults untestable
+        assert stats.testable + stats.untestable == 56
+        assert stats.compacted_test_count < stats.total_transitions
+        assert len(stats.rows()) >= 6
+
+    def test_em_comparison_flags_gaps(self):
+        result = run_em_comparison(gates=["NAND2", "AOI21"])
+        assert result.gates_where_em_misses_obd()
+
+    def test_progression_window_report(self):
+        result = run_progression_window()
+        assert result.window_shrinks_with_slack()
+        assert any("window opens" in row for row in result.rows())
+
+    def test_atpg_complexity_small(self):
+        result = run_atpg_complexity(circuit_factories=[c17])
+        entry = result.circuits[0]
+        assert entry.stuck_at.testable == entry.stuck_at.faults
+        assert entry.obd.faults == 6 * 4
+        assert result.same_order_of_magnitude(factor=100.0)
+
+    @pytest.mark.slow
+    def test_fig4_vol_shift(self):
+        result = run_fig4(points=23)
+        vol = result.vol_by_stage()
+        assert vol[BreakdownStage.HBD] > vol[BreakdownStage.SBD] >= vol[BreakdownStage.FAULT_FREE]
+        voh = result.voh_by_stage()
+        assert voh[BreakdownStage.HBD] == pytest.approx(voh[BreakdownStage.FAULT_FREE], abs=0.05)
+
+    @pytest.mark.slow
+    def test_upstream_stress_monotonic(self):
+        result = run_upstream_stress(
+            stages=[BreakdownStage.FAULT_FREE, BreakdownStage.MBD2, BreakdownStage.HBD]
+        )
+        assert result.current_grows_monotonically()
+        assert result.supply_current[BreakdownStage.HBD] > 1e-4
