@@ -1,0 +1,109 @@
+"""Bit-parallel vs. serial fault simulation on a ripple-carry adder.
+
+The packed engine (64 patterns per word, shared good machine, fan-out-cone
+re-simulation) must beat the serial reference engine by at least an order of
+magnitude on a workload beyond the paper's full adder: an 8-bit ripple-carry
+adder with 256 random two-pattern sequences, all three fault models.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.atpg import (
+    packed_simulate_obd,
+    packed_simulate_stuck_at,
+    packed_simulate_transition,
+    random_pairs,
+    random_patterns,
+    serial_simulate_obd,
+    serial_simulate_stuck_at,
+    serial_simulate_transition,
+)
+from repro.faults import obd_fault_universe, stuck_at_universe, transition_fault_universe
+from repro.logic import ripple_carry_adder
+
+from _report import report
+
+BITS = 8
+NUM_TESTS = 256
+
+
+@pytest.fixture(scope="module")
+def rca8():
+    return ripple_carry_adder(BITS)
+
+
+def _speedup(serial_fn, packed_fn, *args):
+    start = time.perf_counter()
+    serial_report = serial_fn(*args)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    packed_report = packed_fn(*args)
+    packed_s = time.perf_counter() - start
+    assert packed_report.detections == serial_report.detections
+    assert packed_report.num_tests == serial_report.num_tests
+    return serial_s, packed_s, packed_report
+
+
+@pytest.mark.benchmark(group="parallel-fault-sim")
+def test_packed_stuck_at_speedup(rca8, benchmark):
+    patterns = random_patterns(rca8, NUM_TESTS, seed=11)
+    faults = list(stuck_at_universe(rca8))
+    serial_s, packed_s, rep = _speedup(
+        serial_simulate_stuck_at, packed_simulate_stuck_at, rca8, patterns, faults
+    )
+    benchmark.pedantic(
+        packed_simulate_stuck_at, args=(rca8, patterns, faults), rounds=3, iterations=1
+    )
+    speedup = serial_s / packed_s
+    report(
+        [
+            f"stuck-at     : {len(faults)} faults x {NUM_TESTS} patterns on rca{BITS}",
+            f"  serial {serial_s * 1e3:8.1f} ms | packed {packed_s * 1e3:7.1f} ms | "
+            f"speedup {speedup:6.1f}x | coverage {100 * rep.coverage:.1f}%",
+        ]
+    )
+    assert speedup >= 10.0
+
+
+@pytest.mark.benchmark(group="parallel-fault-sim")
+def test_packed_transition_speedup(rca8, benchmark):
+    pairs = random_pairs(rca8, NUM_TESTS, seed=12)
+    faults = list(transition_fault_universe(rca8))
+    serial_s, packed_s, rep = _speedup(
+        serial_simulate_transition, packed_simulate_transition, rca8, pairs, faults
+    )
+    benchmark.pedantic(
+        packed_simulate_transition, args=(rca8, pairs, faults), rounds=3, iterations=1
+    )
+    speedup = serial_s / packed_s
+    report(
+        [
+            f"transition   : {len(faults)} faults x {NUM_TESTS} pairs on rca{BITS}",
+            f"  serial {serial_s * 1e3:8.1f} ms | packed {packed_s * 1e3:7.1f} ms | "
+            f"speedup {speedup:6.1f}x | coverage {100 * rep.coverage:.1f}%",
+        ]
+    )
+    assert speedup >= 10.0
+
+
+@pytest.mark.benchmark(group="parallel-fault-sim")
+def test_packed_obd_speedup(rca8, benchmark):
+    pairs = random_pairs(rca8, NUM_TESTS, seed=13)
+    faults = list(obd_fault_universe(rca8))
+    serial_s, packed_s, rep = _speedup(
+        serial_simulate_obd, packed_simulate_obd, rca8, pairs, faults
+    )
+    benchmark.pedantic(packed_simulate_obd, args=(rca8, pairs, faults), rounds=3, iterations=1)
+    speedup = serial_s / packed_s
+    report(
+        [
+            f"OBD          : {len(faults)} faults x {NUM_TESTS} pairs on rca{BITS}",
+            f"  serial {serial_s * 1e3:8.1f} ms | packed {packed_s * 1e3:7.1f} ms | "
+            f"speedup {speedup:6.1f}x | coverage {100 * rep.coverage:.1f}%",
+        ]
+    )
+    assert speedup >= 10.0

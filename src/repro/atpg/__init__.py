@@ -1,15 +1,46 @@
-"""Test generation and fault simulation (stuck-at, transition, OBD)."""
+"""Test generation and fault simulation (stuck-at, transition, OBD).
+
+Fault-simulation engines
+------------------------
+
+Two engines produce identical :class:`~repro.atpg.fault_sim.DetectionReport`
+objects behind the ``simulate_stuck_at`` / ``simulate_transition`` /
+``simulate_obd`` entry points:
+
+* **packed** (default) -- the bit-parallel engine in
+  :mod:`repro.atpg.parallel_sim`.  Patterns are packed 64 per machine word
+  (:mod:`repro.logic.compiled`), the good machine is evaluated once per
+  pattern block and shared across all faults, and each fault re-simulates
+  only its fan-out cone over the packed words.  Use it everywhere; it is the
+  engine that makes ripple-carry-adder-scale workloads practical.
+* **serial** -- the reference engine in :mod:`repro.atpg.fault_sim`
+  (``serial_simulate_*``, or ``engine="serial"``).  One full circuit walk per
+  (fault, pattern): easy to read and to instrument, and the executable
+  specification the packed engine is property-tested against.  Reach for it
+  when debugging a coverage discrepancy or adding a new fault model.
+
+All three models support ``drop_detected`` (stop simulating a fault after its
+first detection) in both engines with identical first-detection indices.
+"""
 
 from .compaction import CompactionResult, compact_tests, greedy_compaction
 from .coverage import CoverageReport, coverage_from_report
 from .fault_sim import (
     DetectionReport,
     obd_fault_detected,
+    serial_simulate_obd,
+    serial_simulate_stuck_at,
+    serial_simulate_transition,
     simulate_obd,
     simulate_stuck_at,
     simulate_transition,
     simulate_with_forced_net,
     transition_fault_detected,
+)
+from .parallel_sim import (
+    packed_simulate_obd,
+    packed_simulate_stuck_at,
+    packed_simulate_transition,
 )
 from .obd_atpg import ObdAtpgSummary, ObdTestResult, generate_obd_test, run_obd_atpg
 from .podem import PodemOptions, PodemResult, generate_stuck_at_test, justify
@@ -47,6 +78,12 @@ __all__ = [
     "simulate_stuck_at",
     "simulate_transition",
     "simulate_obd",
+    "serial_simulate_stuck_at",
+    "serial_simulate_transition",
+    "serial_simulate_obd",
+    "packed_simulate_stuck_at",
+    "packed_simulate_transition",
+    "packed_simulate_obd",
     "simulate_with_forced_net",
     "transition_fault_detected",
     "obd_fault_detected",

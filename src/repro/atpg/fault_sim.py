@@ -1,11 +1,18 @@
 """Fault simulation for stuck-at, transition and OBD fault models.
 
-Serial fault simulation over zero-delay logic: small circuits (the paper's
-full adder, C17, ripple-carry adders) simulate in milliseconds, which is all
-the reproduction needs.  The OBD simulator enforces the *input-specific*
-excitation conditions before checking propagation, which is the behavioural
-difference from classical transition-fault simulation that Section 4.1 is
-about.
+Two engines sit behind one API.  The default is the **packed** bit-parallel
+engine (:mod:`repro.atpg.parallel_sim`): patterns are simulated 64 at a time
+over machine-word bit-vectors, the good machine is computed once per block
+and shared across all faults, and each fault only re-simulates its fan-out
+cone.  The **serial** engine in this module re-walks the circuit one
+(fault, pattern) at a time; it is the executable specification the packed
+engine is property-tested against, and remains available via
+``engine="serial"`` for debugging and for cross-checking.
+
+Both engines implement the same models: classical stuck-at, classical
+transition, and the paper's OBD model whose *input-specific* excitation
+conditions are enforced before checking propagation -- the behavioural
+difference from transition-fault simulation that Section 4.1 is about.
 """
 
 from __future__ import annotations
@@ -22,6 +29,14 @@ from ..logic.simulator import simulate_pattern
 
 Pattern = tuple[int, ...]
 PatternPair = tuple[Pattern, Pattern]
+
+#: Engine names accepted by the ``simulate_*`` entry points.
+ENGINES = ("packed", "serial")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise ValueError(f"unknown fault-simulation engine {engine!r}; expected one of {ENGINES}")
 
 
 def simulate_with_forced_net(
@@ -48,7 +63,7 @@ def _outputs(circuit: LogicCircuit, values: dict[str, int]) -> tuple[int, ...]:
 
 
 # --------------------------------------------------------------------------- #
-# Stuck-at faults.
+# Detection reports.
 # --------------------------------------------------------------------------- #
 @dataclass
 class DetectionReport:
@@ -75,13 +90,32 @@ class DetectionReport:
         return self.detections[fault_key]
 
 
+# --------------------------------------------------------------------------- #
+# Stuck-at faults.
+# --------------------------------------------------------------------------- #
 def simulate_stuck_at(
     circuit: LogicCircuit,
     patterns: Sequence[Pattern],
     faults: Iterable[StuckAtFault],
     drop_detected: bool = False,
+    engine: str = "packed",
 ) -> DetectionReport:
-    """Serial stuck-at fault simulation of a pattern set."""
+    """Stuck-at fault simulation of a pattern set (packed engine by default)."""
+    _check_engine(engine)
+    if engine == "packed":
+        from .parallel_sim import packed_simulate_stuck_at
+
+        return packed_simulate_stuck_at(circuit, patterns, faults, drop_detected=drop_detected)
+    return serial_simulate_stuck_at(circuit, patterns, faults, drop_detected=drop_detected)
+
+
+def serial_simulate_stuck_at(
+    circuit: LogicCircuit,
+    patterns: Sequence[Pattern],
+    faults: Iterable[StuckAtFault],
+    drop_detected: bool = False,
+) -> DetectionReport:
+    """Serial reference engine: one forced re-simulation per (fault, pattern)."""
     fault_list = list(faults)
     detections: dict[str, list[int]] = {f.key: [] for f in fault_list}
     remaining = set(detections)
@@ -103,6 +137,21 @@ def simulate_stuck_at(
 # --------------------------------------------------------------------------- #
 # Transition faults.
 # --------------------------------------------------------------------------- #
+def _transition_detected_with_values(
+    circuit: LogicCircuit,
+    fault: TransitionFault,
+    second: Pattern,
+    values1: dict[str, int],
+    values2: dict[str, int],
+    good_outputs: tuple[int, ...],
+) -> bool:
+    """Transition-fault check against precomputed good-machine values."""
+    if values1[fault.net] != fault.launch_value or values2[fault.net] != fault.final_value:
+        return False
+    faulty = simulate_with_forced_net(circuit, second, fault.net, fault.launch_value)
+    return _outputs(circuit, faulty) != good_outputs
+
+
 def transition_fault_detected(
     circuit: LogicCircuit,
     fault: TransitionFault,
@@ -112,30 +161,75 @@ def transition_fault_detected(
     first, second = pair
     values1 = simulate_pattern(circuit, first)
     values2 = simulate_pattern(circuit, second)
-    if values1[fault.net] != fault.launch_value or values2[fault.net] != fault.final_value:
-        return False
-    faulty = simulate_with_forced_net(circuit, second, fault.net, fault.launch_value)
-    return _outputs(circuit, faulty) != _outputs(circuit, values2)
+    return _transition_detected_with_values(
+        circuit, fault, second, values1, values2, _outputs(circuit, values2)
+    )
 
 
 def simulate_transition(
     circuit: LogicCircuit,
     pairs: Sequence[PatternPair],
     faults: Iterable[TransitionFault],
+    drop_detected: bool = False,
+    engine: str = "packed",
 ) -> DetectionReport:
-    """Serial transition-fault simulation of a two-pattern test set."""
+    """Transition-fault simulation of a two-pattern test set (packed default)."""
+    _check_engine(engine)
+    if engine == "packed":
+        from .parallel_sim import packed_simulate_transition
+
+        return packed_simulate_transition(circuit, pairs, faults, drop_detected=drop_detected)
+    return serial_simulate_transition(circuit, pairs, faults, drop_detected=drop_detected)
+
+
+def serial_simulate_transition(
+    circuit: LogicCircuit,
+    pairs: Sequence[PatternPair],
+    faults: Iterable[TransitionFault],
+    drop_detected: bool = False,
+) -> DetectionReport:
+    """Serial reference engine; good machine computed once per pair."""
     fault_list = list(faults)
     detections: dict[str, list[int]] = {f.key: [] for f in fault_list}
-    for index, pair in enumerate(pairs):
+    remaining = set(detections)
+    for index, (first, second) in enumerate(pairs):
+        values1 = simulate_pattern(circuit, first)
+        values2 = simulate_pattern(circuit, second)
+        good_outputs = _outputs(circuit, values2)
         for fault in fault_list:
-            if transition_fault_detected(circuit, fault, pair):
+            if drop_detected and fault.key not in remaining:
+                continue
+            if _transition_detected_with_values(
+                circuit, fault, second, values1, values2, good_outputs
+            ):
                 detections[fault.key].append(index)
+                remaining.discard(fault.key)
     return DetectionReport(detections=detections, num_tests=len(pairs))
 
 
 # --------------------------------------------------------------------------- #
 # OBD faults.
 # --------------------------------------------------------------------------- #
+def _obd_detected_with_values(
+    circuit: LogicCircuit,
+    fault: ObdFault,
+    second: Pattern,
+    values1: dict[str, int],
+    values2: dict[str, int],
+    good_outputs: tuple[int, ...],
+) -> bool:
+    """OBD check against precomputed good-machine values of both patterns."""
+    gate = circuit.gate(fault.gate_name)
+    local_sequence: Sequence2 = (
+        tuple(values1[n] for n in gate.inputs),
+        tuple(values2[n] for n in gate.inputs),
+    )
+    if local_sequence not in fault.local_sequences:
+        return False
+    faulty = simulate_with_forced_net(circuit, second, gate.output, values1[gate.output])
+    return _outputs(circuit, faulty) != good_outputs
+
+
 def obd_fault_detected(
     circuit: LogicCircuit,
     fault: ObdFault,
@@ -149,29 +243,49 @@ def obd_fault_detected(
     output.
     """
     first, second = pair
-    gate = circuit.gate(fault.gate_name)
     values1 = simulate_pattern(circuit, first)
     values2 = simulate_pattern(circuit, second)
-    local_sequence: Sequence2 = (
-        tuple(values1[n] for n in gate.inputs),
-        tuple(values2[n] for n in gate.inputs),
+    return _obd_detected_with_values(
+        circuit, fault, second, values1, values2, _outputs(circuit, values2)
     )
-    if local_sequence not in fault.local_sequences:
-        return False
-    faulty = simulate_with_forced_net(circuit, second, gate.output, values1[gate.output])
-    return _outputs(circuit, faulty) != _outputs(circuit, values2)
 
 
 def simulate_obd(
     circuit: LogicCircuit,
     pairs: Sequence[PatternPair],
     faults: Iterable[ObdFault],
+    drop_detected: bool = False,
+    engine: str = "packed",
 ) -> DetectionReport:
-    """Serial OBD fault simulation of a two-pattern test set."""
+    """OBD fault simulation of a two-pattern test set (packed engine default)."""
+    _check_engine(engine)
+    if engine == "packed":
+        from .parallel_sim import packed_simulate_obd
+
+        return packed_simulate_obd(circuit, pairs, faults, drop_detected=drop_detected)
+    return serial_simulate_obd(circuit, pairs, faults, drop_detected=drop_detected)
+
+
+def serial_simulate_obd(
+    circuit: LogicCircuit,
+    pairs: Sequence[PatternPair],
+    faults: Iterable[ObdFault],
+    drop_detected: bool = False,
+) -> DetectionReport:
+    """Serial reference engine; good machine computed once per pair."""
     fault_list = list(faults)
     detections: dict[str, list[int]] = {f.key: [] for f in fault_list}
-    for index, pair in enumerate(pairs):
+    remaining = set(detections)
+    for index, (first, second) in enumerate(pairs):
+        values1 = simulate_pattern(circuit, first)
+        values2 = simulate_pattern(circuit, second)
+        good_outputs = _outputs(circuit, values2)
         for fault in fault_list:
-            if obd_fault_detected(circuit, fault, pair):
+            if drop_detected and fault.key not in remaining:
+                continue
+            if _obd_detected_with_values(
+                circuit, fault, second, values1, values2, good_outputs
+            ):
                 detections[fault.key].append(index)
+                remaining.discard(fault.key)
     return DetectionReport(detections=detections, num_tests=len(pairs))

@@ -1,0 +1,188 @@
+"""Bit-parallel (64-patterns-per-word) fault simulation.
+
+This is the fast engine behind :mod:`repro.atpg.fault_sim`: patterns are
+packed into machine-word bit-vectors (:mod:`repro.logic.compiled`), the
+good machine is evaluated **once per pattern block** and shared across every
+fault, and each fault costs only a forced re-simulation of its fan-out cone
+over the packed words.  All three fault models of the reproduction are
+supported and produce :class:`~repro.atpg.fault_sim.DetectionReport`s that
+are bit-identical to the serial reference engine:
+
+* **stuck-at** -- clamp the faulty net to the stuck value; a pattern detects
+  the fault where a reachable output word differs from the good machine
+  (un-activated bit positions clamp to their good value and can never
+  differ, so activation falls out of the arithmetic);
+* **transition** -- evaluate both patterns of each pair, require
+  launch/final values at the faulty net, and clamp the net to the launch
+  value during the second-pattern re-simulation;
+* **OBD** -- the input-specific model of the paper: the excitation word is
+  the OR over the fault's local sequences of per-pin match words, and the
+  faulty machine holds the gate output at its *first-pattern* value (a
+  per-bit word, not a constant) into the second pattern.
+
+With ``drop_detected`` a fault stops being simulated after its first
+detection; the recorded index is the lowest set bit of the first non-zero
+detection word, which is exactly the pattern the serial engine would have
+stopped at.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..faults.obd import ObdFault
+from ..faults.stuck_at import StuckAtFault
+from ..faults.transition import TransitionFault
+from ..logic.compiled import (
+    CompiledCircuit,
+    compile_circuit,
+    iter_bits,
+    pack_pair_blocks,
+    pack_pattern_blocks,
+)
+from ..logic.netlist import LogicCircuit
+from .fault_sim import DetectionReport, Pattern, PatternPair
+
+
+def _record(
+    detections: dict[str, list[int]],
+    remaining: set[str],
+    key: str,
+    base: int,
+    detected_word: int,
+    drop_detected: bool,
+) -> None:
+    """Append the pattern indices encoded by *detected_word* for one fault."""
+    if drop_detected:
+        detections[key].append(base + next(iter_bits(detected_word)))
+        remaining.discard(key)
+    else:
+        detections[key].extend(base + bit for bit in iter_bits(detected_word))
+
+
+def _output_diff(
+    faulty: Sequence[int],
+    good: Sequence[int],
+    outputs: Sequence[int],
+) -> int:
+    diff = 0
+    for index in outputs:
+        diff |= faulty[index] ^ good[index]
+    return diff
+
+
+def packed_simulate_stuck_at(
+    circuit: LogicCircuit,
+    patterns: Sequence[Pattern],
+    faults: Iterable[StuckAtFault],
+    drop_detected: bool = False,
+    compiled: CompiledCircuit | None = None,
+) -> DetectionReport:
+    """Bit-parallel stuck-at fault simulation of a pattern set."""
+    cc = compiled if compiled is not None else compile_circuit(circuit)
+    fault_list = list(faults)
+    detections: dict[str, list[int]] = {f.key: [] for f in fault_list}
+    remaining = set(detections)
+    sites = [(fault, cc.net_index[fault.net]) for fault in fault_list]
+    for base, mask, words in pack_pattern_blocks(patterns, len(cc.input_indices)):
+        if drop_detected and not remaining:
+            break
+        good = cc.evaluate(words, mask)
+        for fault, net in sites:
+            if drop_detected and fault.key not in remaining:
+                continue
+            forced = mask if fault.value else 0
+            if not (good[net] ^ forced):
+                continue  # never activated in this block
+            _, outputs = cc.cone(net)
+            faulty = cc.evaluate_forced(good, net, forced, mask)
+            detected = _output_diff(faulty, good, outputs)
+            if detected:
+                _record(detections, remaining, fault.key, base, detected, drop_detected)
+    return DetectionReport(detections=detections, num_tests=len(patterns))
+
+
+def packed_simulate_transition(
+    circuit: LogicCircuit,
+    pairs: Sequence[PatternPair],
+    faults: Iterable[TransitionFault],
+    drop_detected: bool = False,
+    compiled: CompiledCircuit | None = None,
+) -> DetectionReport:
+    """Bit-parallel transition-fault simulation of a two-pattern test set."""
+    cc = compiled if compiled is not None else compile_circuit(circuit)
+    fault_list = list(faults)
+    detections: dict[str, list[int]] = {f.key: [] for f in fault_list}
+    remaining = set(detections)
+    sites = [(fault, cc.net_index[fault.net]) for fault in fault_list]
+    for base, mask, words1, words2 in pack_pair_blocks(pairs, len(cc.input_indices)):
+        if drop_detected and not remaining:
+            break
+        good1 = cc.evaluate(words1, mask)
+        good2 = cc.evaluate(words2, mask)
+        for fault, net in sites:
+            if drop_detected and fault.key not in remaining:
+                continue
+            launch = mask if fault.launch_value else 0
+            final = mask if fault.final_value else 0
+            excited = ~(good1[net] ^ launch) & ~(good2[net] ^ final) & mask
+            if not excited:
+                continue
+            _, outputs = cc.cone(net)
+            faulty = cc.evaluate_forced(good2, net, launch, mask)
+            detected = _output_diff(faulty, good2, outputs) & excited
+            if detected:
+                _record(detections, remaining, fault.key, base, detected, drop_detected)
+    return DetectionReport(detections=detections, num_tests=len(pairs))
+
+
+def packed_simulate_obd(
+    circuit: LogicCircuit,
+    pairs: Sequence[PatternPair],
+    faults: Iterable[ObdFault],
+    drop_detected: bool = False,
+    compiled: CompiledCircuit | None = None,
+) -> DetectionReport:
+    """Bit-parallel OBD fault simulation of a two-pattern test set."""
+    cc = compiled if compiled is not None else compile_circuit(circuit)
+    fault_list = list(faults)
+    detections: dict[str, list[int]] = {f.key: [] for f in fault_list}
+    remaining = set(detections)
+    # Per fault: output-net id, input-pin net ids, excitation sequences.
+    sites = []
+    for fault in fault_list:
+        gate = circuit.gate(fault.gate_name)
+        sites.append(
+            (
+                fault,
+                cc.net_index[gate.output],
+                tuple(cc.net_index[n] for n in gate.inputs),
+                fault.local_sequences,
+            )
+        )
+    for base, mask, words1, words2 in pack_pair_blocks(pairs, len(cc.input_indices)):
+        if drop_detected and not remaining:
+            break
+        good1 = cc.evaluate(words1, mask)
+        good2 = cc.evaluate(words2, mask)
+        for fault, out_net, pins, sequences in sites:
+            if drop_detected and fault.key not in remaining:
+                continue
+            excited = 0
+            for first, second in sequences:
+                word = mask
+                for pin, v1, v2 in zip(pins, first, second):
+                    word &= ~(good1[pin] ^ (mask if v1 else 0))
+                    word &= ~(good2[pin] ^ (mask if v2 else 0))
+                    if not word:
+                        break
+                excited |= word & mask
+            if not excited:
+                continue
+            _, outputs = cc.cone(out_net)
+            # The slow gate holds its first-pattern output into pattern two.
+            faulty = cc.evaluate_forced(good2, out_net, good1[out_net], mask)
+            detected = _output_diff(faulty, good2, outputs) & excited
+            if detected:
+                _record(detections, remaining, fault.key, base, detected, drop_detected)
+    return DetectionReport(detections=detections, num_tests=len(pairs))

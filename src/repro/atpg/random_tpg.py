@@ -10,7 +10,7 @@ from __future__ import annotations
 import random
 from typing import Iterator, Sequence
 
-from ..logic.netlist import LogicCircuit
+from ..logic.netlist import LogicCircuit, LogicCircuitError
 
 Pattern = tuple[int, ...]
 PatternPair = tuple[Pattern, Pattern]
@@ -36,15 +36,40 @@ def random_patterns(circuit: LogicCircuit, count: int, seed: int = 0) -> list[Pa
 
 
 def random_pairs(circuit: LogicCircuit, count: int, seed: int = 0) -> list[PatternPair]:
-    """Pseudo-random two-pattern sequences (patterns drawn independently)."""
-    rng = random.Random(seed)
+    """Pseudo-random two-pattern sequences (patterns drawn independently).
+
+    Pairs with identical patterns are rejected (they cannot launch a
+    transition).  A zero-input circuit has no distinct pairs at all and
+    raises :class:`~repro.logic.netlist.LogicCircuitError`; for tiny input
+    counts the rejection loop is capped, and any shortfall is filled by
+    direct construction (a random pattern plus a random non-zero offset),
+    which draws uniformly over ordered distinct pairs without retrying.
+    """
     n = len(circuit.primary_inputs)
+    if n == 0:
+        raise LogicCircuitError(
+            "cannot draw two-pattern sequences for a circuit with no primary inputs"
+        )
+    rng = random.Random(seed)
     pairs: list[PatternPair] = []
-    while len(pairs) < count:
+    attempts = 0
+    max_attempts = 32 * count + 64
+    while len(pairs) < count and attempts < max_attempts:
+        attempts += 1
         v1 = tuple(rng.randint(0, 1) for _ in range(n))
         v2 = tuple(rng.randint(0, 1) for _ in range(n))
         if v1 != v2:
             pairs.append((v1, v2))
+    space = 2**n
+    while len(pairs) < count:
+        first = rng.randrange(space)
+        second = (first + rng.randrange(1, space)) % space
+        pairs.append(
+            (
+                tuple((first >> (n - 1 - i)) & 1 for i in range(n)),
+                tuple((second >> (n - 1 - i)) & 1 for i in range(n)),
+            )
+        )
     return pairs
 
 

@@ -1,0 +1,257 @@
+"""Compiled bit-parallel circuit evaluation.
+
+A :class:`CompiledCircuit` levelizes a :class:`~repro.logic.netlist.LogicCircuit`
+once into a flat, topologically ordered op list over dense integer net ids.
+Evaluation then runs over plain Python ints used as :data:`WORD_BITS`-wide
+bit-vectors: bit *i* of every net word carries the value of that net under
+pattern *i* of the block, so one pass over the op list simulates up to 64
+patterns at once.
+
+Two extra structures make the engine suitable for fault simulation:
+
+* :meth:`CompiledCircuit.evaluate_forced` re-simulates with one net clamped to
+  an arbitrary per-pattern word (the packed analogue of
+  :func:`repro.atpg.fault_sim.simulate_with_forced_net`), touching only the
+  ops in the forced net's fan-out cone;
+* :meth:`CompiledCircuit.cone` exposes, per net, that cone's op slice and the
+  primary outputs reachable from it, so callers compare only outputs a fault
+  can possibly reach.
+
+The helpers :func:`pack_pattern_blocks` / :func:`pack_pair_blocks` slice a
+pattern (pair) sequence into word-sized blocks, and :func:`iter_bits` walks
+the set bits of a detection word back to pattern indices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from .gates import GateType
+from .netlist import LogicCircuit, LogicCircuitError
+
+#: Number of patterns packed into one machine word of the engine.  Python
+#: ints are arbitrary precision, so this is a block-size convention (64 keeps
+#: every intermediate in one CPython "small" int limb sequence and matches
+#: what a C engine would use), not a hard limit of the representation.
+WORD_BITS = 64
+
+# Flat op codes; variadic gate types (AND2/AND3, ...) share one code and are
+# distinguished by their input count alone.
+_BUF, _INV, _AND, _OR, _NAND, _NOR, _XOR, _XNOR, _AOI21, _OAI21 = range(10)
+
+_OPCODES: dict[GateType, int] = {
+    GateType.BUF: _BUF,
+    GateType.INV: _INV,
+    GateType.AND2: _AND,
+    GateType.AND3: _AND,
+    GateType.OR2: _OR,
+    GateType.OR3: _OR,
+    GateType.NAND2: _NAND,
+    GateType.NAND3: _NAND,
+    GateType.NOR2: _NOR,
+    GateType.NOR3: _NOR,
+    GateType.XOR2: _XOR,
+    GateType.XNOR2: _XNOR,
+    GateType.AOI21: _AOI21,
+    GateType.OAI21: _OAI21,
+}
+
+#: One op: (opcode, output net id, input net ids).
+Op = tuple[int, int, tuple[int, ...]]
+
+
+def _run_ops(ops: Sequence[Op], values: list[int], mask: int) -> None:
+    """Evaluate *ops* in place over packed words (each result masked)."""
+    for code, out, ins in ops:
+        if code == _NAND:
+            word = values[ins[0]]
+            for index in ins[1:]:
+                word &= values[index]
+            word = ~word & mask
+        elif code == _INV:
+            word = ~values[ins[0]] & mask
+        elif code == _AND:
+            word = values[ins[0]]
+            for index in ins[1:]:
+                word &= values[index]
+        elif code == _OR:
+            word = values[ins[0]]
+            for index in ins[1:]:
+                word |= values[index]
+        elif code == _NOR:
+            word = values[ins[0]]
+            for index in ins[1:]:
+                word |= values[index]
+            word = ~word & mask
+        elif code == _XOR:
+            word = values[ins[0]] ^ values[ins[1]]
+        elif code == _XNOR:
+            word = ~(values[ins[0]] ^ values[ins[1]]) & mask
+        elif code == _AOI21:
+            word = ~((values[ins[0]] & values[ins[1]]) | values[ins[2]]) & mask
+        elif code == _OAI21:
+            word = ~((values[ins[0]] | values[ins[1]]) & values[ins[2]]) & mask
+        else:  # _BUF
+            word = values[ins[0]]
+        values[out] = word
+
+
+class CompiledCircuit:
+    """A levelized, bit-parallel evaluator for one :class:`LogicCircuit`."""
+
+    def __init__(self, circuit: LogicCircuit):
+        self.circuit = circuit
+        order = circuit.topological_order()
+
+        #: Net name -> dense id; primary inputs first, then gate outputs in
+        #: topological order, so evaluating ops in id order is always legal.
+        self.net_index: dict[str, int] = {}
+        for net in circuit.primary_inputs:
+            self.net_index[net] = len(self.net_index)
+        self.input_indices: tuple[int, ...] = tuple(range(len(self.net_index)))
+        for gate in order:
+            self.net_index[gate.output] = len(self.net_index)
+        self.num_nets = len(self.net_index)
+        self.net_names: tuple[str, ...] = tuple(self.net_index)
+
+        self.ops: tuple[Op, ...] = tuple(
+            (
+                _OPCODES[gate.gate_type],
+                self.net_index[gate.output],
+                tuple(self.net_index[n] for n in gate.inputs),
+            )
+            for gate in order
+        )
+        self.output_indices: tuple[int, ...] = tuple(
+            self.net_index[n] for n in circuit.primary_outputs
+        )
+
+        # Loads adjacency over op list positions, for cone extraction.
+        self._loads: dict[int, list[int]] = {}
+        for position, (_code, _out, ins) in enumerate(self.ops):
+            for index in set(ins):
+                self._loads.setdefault(index, []).append(position)
+        self._cones: dict[int, tuple[tuple[Op, ...], tuple[int, ...]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Evaluation.
+    # ------------------------------------------------------------------ #
+    def evaluate(self, input_words: Sequence[int], mask: int) -> list[int]:
+        """Packed good-machine evaluation of one pattern block.
+
+        ``input_words[i]`` holds the packed values of primary input *i*;
+        returns the packed value of every net, indexed by net id.
+        """
+        if len(input_words) != len(self.input_indices):
+            raise LogicCircuitError(
+                f"expected {len(self.input_indices)} input words, got {len(input_words)}"
+            )
+        values = [0] * self.num_nets
+        for index, word in zip(self.input_indices, input_words):
+            values[index] = word & mask
+        _run_ops(self.ops, values, mask)
+        return values
+
+    def cone(self, net_index: int) -> tuple[tuple[Op, ...], tuple[int, ...]]:
+        """Fan-out cone of a net: (ops to re-evaluate, reachable output ids).
+
+        The op slice excludes the driver of the net itself (the net stays
+        clamped during forced re-simulation) and is in topological order; the
+        output ids include the net when it is itself a primary output.
+        """
+        cached = self._cones.get(net_index)
+        if cached is not None:
+            return cached
+        positions: set[int] = set()
+        stack = list(self._loads.get(net_index, ()))
+        while stack:
+            position = stack.pop()
+            if position in positions:
+                continue
+            positions.add(position)
+            stack.extend(self._loads.get(self.ops[position][1], ()))
+        ops = tuple(self.ops[p] for p in sorted(positions))
+        cone_nets = {net_index} | {op[1] for op in ops}
+        outputs = tuple(i for i in self.output_indices if i in cone_nets)
+        result = (ops, outputs)
+        self._cones[net_index] = result
+        return result
+
+    def evaluate_forced(
+        self,
+        base_values: Sequence[int],
+        net_index: int,
+        forced_word: int,
+        mask: int,
+    ) -> list[int]:
+        """Re-simulate *base_values* with one net clamped to *forced_word*.
+
+        Only the forced net's fan-out cone is re-evaluated; nets outside the
+        cone keep their base values, so callers must restrict output
+        comparisons to :meth:`cone`'s reachable outputs.
+        """
+        ops, _ = self.cone(net_index)
+        values = list(base_values)
+        values[net_index] = forced_word & mask
+        _run_ops(ops, values, mask)
+        return values
+
+
+def compile_circuit(circuit: LogicCircuit) -> CompiledCircuit:
+    """Levelize *circuit* into a :class:`CompiledCircuit`."""
+    return CompiledCircuit(circuit)
+
+
+# --------------------------------------------------------------------------- #
+# Pattern packing.
+# --------------------------------------------------------------------------- #
+def pack_pattern_blocks(
+    patterns: Sequence[Sequence[int]],
+    num_inputs: int,
+) -> Iterator[tuple[int, int, list[int]]]:
+    """Slice *patterns* into packed blocks of (base index, mask, input words).
+
+    Pattern ``base + i`` occupies bit *i* of every word; ``mask`` has one bit
+    per pattern actually present in the (possibly short, final) block.
+    """
+    for base in range(0, len(patterns), WORD_BITS):
+        block = patterns[base : base + WORD_BITS]
+        words = [0] * num_inputs
+        for bit, pattern in enumerate(block):
+            if len(pattern) != num_inputs:
+                raise LogicCircuitError(
+                    f"pattern {base + bit} has {len(pattern)} bits, expected {num_inputs}"
+                )
+            select = 1 << bit
+            for position, value in enumerate(pattern):
+                if value == 1:
+                    words[position] |= select
+                elif value != 0:
+                    raise LogicCircuitError(
+                        f"pattern {base + bit} bit {position} must be 0 or 1, got {value!r}"
+                    )
+        yield base, (1 << len(block)) - 1, words
+
+
+def pack_pair_blocks(
+    pairs: Sequence[tuple[Sequence[int], Sequence[int]]],
+    num_inputs: int,
+) -> Iterator[tuple[int, int, list[int], list[int]]]:
+    """Like :func:`pack_pattern_blocks` for two-pattern sequences.
+
+    Yields (base index, mask, first-pattern words, second-pattern words).
+    """
+    firsts = [pair[0] for pair in pairs]
+    seconds = [pair[1] for pair in pairs]
+    second_blocks = pack_pattern_blocks(seconds, num_inputs)
+    for base, mask, words1 in pack_pattern_blocks(firsts, num_inputs):
+        _, _, words2 = next(second_blocks)
+        yield base, mask, words1, words2
+
+
+def iter_bits(word: int) -> Iterator[int]:
+    """Indices of the set bits of *word*, in ascending order."""
+    while word:
+        low = word & -word
+        yield low.bit_length() - 1
+        word ^= low

@@ -164,9 +164,20 @@ class EventDrivenSimulator:
             for gate, _pin in circuit.loads_of(event.net):
                 new_value = gate.evaluate(current)
                 scheduled_time = event.time + self.delay_model(gate)
-                # Cancel any pending event on the same net scheduled later
-                # with a now-stale value.
-                events = [e for e in events if e.net != gate.output]
-                if new_value != current[gate.output]:
+                # Compare against the value the output is already headed for
+                # (last pending event), not its present value: a pending
+                # transition launched by another fanin must survive a
+                # re-evaluation that agrees with the current output.
+                pending = [e for e in events if e.net == gate.output]
+                projected = max(pending, key=lambda e: e.time).value if pending else current[gate.output]
+                if new_value != projected:
+                    # Only when scheduling a replacement do we cancel pending
+                    # events, and only those at or after the new event's time
+                    # (now stale); earlier-scheduled events stay intact.
+                    events = [
+                        e
+                        for e in events
+                        if e.net != gate.output or e.time < scheduled_time
+                    ]
                     events.append(TimingEvent(scheduled_time, gate.output, new_value))
         return TimingSimulationResult(histories=histories)

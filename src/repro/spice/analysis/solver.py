@@ -119,10 +119,11 @@ def solve_with_gmin_stepping(
     for gmin in gmin_ladder:
         ctx.gmin = gmin
         result = newton_solve(system, ctx, x, options)
-        if result.converged:
+        # Even without convergence the iterate is usually a better start for
+        # the next rung -- unless it diverged to non-finite values, in which
+        # case the previous rung's iterate is kept.
+        if np.all(np.isfinite(result.x)):
             x = result.x
-        # Even without convergence the iterate is usually a better start.
-        x = result.x
     ctx.gmin = options.gmin
     final = newton_solve(system, ctx, x, options)
     return final

@@ -272,3 +272,44 @@ class TestFaultSimulation:
         assert len(pairs) == 5 and all(a != b for a, b in pairs)
         sic = single_input_change_pairs(c17_circuit)
         assert all(sum(x != y for x, y in zip(a, b)) == 1 for a, b in sic)
+
+    def test_random_pairs_zero_input_circuit_raises(self):
+        """Regression: a zero-input circuit used to spin forever."""
+        from repro.logic import LogicCircuit, LogicCircuitError
+
+        empty = LogicCircuit("empty")
+        with pytest.raises(LogicCircuitError):
+            random_pairs(empty, 1)
+
+    def test_random_pairs_tiny_input_space_terminates(self):
+        """Regression: with one input only 2 of 4 draws are valid pairs; the
+        generator must still return exactly *count* distinct-pattern pairs."""
+        from repro.logic import GateType, LogicCircuit
+
+        c = LogicCircuit("tiny")
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("g", GateType.INV, ["a"], "y")
+        for seed in range(5):
+            pairs = random_pairs(c, 200, seed=seed)
+            assert len(pairs) == 200
+            assert all(v1 != v2 for v1, v2 in pairs)
+            assert set(pairs) <= {((0,), (1,)), ((1,), (0,))}
+
+    def test_drop_detected_parity_across_models(self, fa_sum):
+        """drop_detected records exactly the first detecting index for every
+        fault, in all three models and both engines."""
+        pairs = exhaustive_pairs(fa_sum)
+        patterns = exhaustive_patterns(fa_sum)
+        cases = [
+            (simulate_stuck_at, patterns, list(stuck_at_universe(fa_sum))),
+            (simulate_transition, pairs, list(transition_fault_universe(fa_sum))),
+            (simulate_obd, pairs, list(obd_fault_universe(fa_sum))),
+        ]
+        for simulate, tests, faults in cases:
+            full = simulate(fa_sum, tests, faults)
+            for engine in ("packed", "serial"):
+                dropped = simulate(fa_sum, tests, faults, drop_detected=True, engine=engine)
+                for key, detecting in full.detections.items():
+                    expected = detecting[:1]
+                    assert dropped.detections[key] == expected, (key, engine)

@@ -185,6 +185,37 @@ class TestLogicSimulation:
         result = sim.run((0, 1), (1, 1))
         assert result.arrival_time("OUT") == pytest.approx(5.0)
 
+    def test_event_driven_keeps_in_flight_transition(self):
+        """Regression: a pending output event launched by one fanin must not
+        be cancelled when a later change on another fanin re-evaluates to the
+        *current* output value (the old scheduler dropped the whole glitch)."""
+        c = LogicCircuit("glitch")
+        c.add_inputs(["A", "B"])
+        c.add_output("OUT")
+        c.add_gate("g_buf", GateType.BUF, ["B"], "bb")
+        c.add_gate("g_or", GateType.OR2, ["A", "bb"], "OUT")
+        c.validate()
+        delays = {"g_buf": 0.3, "g_or": 1.0}
+        sim = EventDrivenSimulator(c, delay_model=lambda gate: delays[gate.name])
+        # A falls at t=0, bb rises at t=0.3: transport-delay OR output must
+        # fall at t=1.0 and rise back at t=1.3 (a real 0.3-wide glitch).
+        result = sim.run((1, 0), (0, 1))
+        assert result.toggles("OUT") == 2
+        assert result.value_at("OUT", 1.1) == 0
+        assert result.final_value("OUT") == 1
+
+    def test_event_driven_cancels_stale_later_events(self):
+        """A replacement event still supersedes pending events at or after
+        its own time instead of leaving stale values in the queue."""
+        chain = nand_chain(3)
+        sim = EventDrivenSimulator(chain)
+        result = sim.run((0, 1), (1, 1))
+        for net in ("n0", "n1", "OUT"):
+            times = [t for t, _v in result.histories[net]]
+            assert times == sorted(times)
+            # Each internal net switches exactly once for a single launch.
+            assert result.toggles(net) == 1
+
 
 class TestTiming:
     def test_unit_delay_critical_path(self, fa_sum):

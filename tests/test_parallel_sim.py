@@ -1,0 +1,247 @@
+"""Packed (bit-parallel) fault-simulation engine: unit, fixture and property
+tests asserting equivalence with the serial reference engine."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg import (
+    exhaustive_pairs,
+    exhaustive_patterns,
+    packed_simulate_obd,
+    packed_simulate_stuck_at,
+    packed_simulate_transition,
+    random_pairs,
+    random_patterns,
+    serial_simulate_obd,
+    serial_simulate_stuck_at,
+    serial_simulate_transition,
+    simulate_obd,
+    simulate_stuck_at,
+    simulate_transition,
+)
+from repro.faults import (
+    obd_fault_universe,
+    stuck_at_universe,
+    transition_fault_universe,
+)
+from repro.logic import (
+    WORD_BITS,
+    CompiledCircuit,
+    GateType,
+    LogicCircuit,
+    compile_circuit,
+    iter_bits,
+    pack_pair_blocks,
+    pack_pattern_blocks,
+    simulate_pattern,
+)
+
+# Gate types every fault model (including OBD site enumeration) supports.
+_RANDOM_GATE_TYPES = [
+    GateType.INV,
+    GateType.NAND2,
+    GateType.NAND3,
+    GateType.NOR2,
+    GateType.NOR3,
+    GateType.AOI21,
+    GateType.OAI21,
+]
+
+
+def random_circuit(seed: int, num_inputs: int, num_gates: int) -> LogicCircuit:
+    """A random combinational DAG over OBD-expandable gate types."""
+    rng = random.Random(seed)
+    c = LogicCircuit(f"rand{seed}")
+    nets = c.add_inputs([f"i{k}" for k in range(num_inputs)])
+    for g in range(num_gates):
+        gate_type = rng.choice(_RANDOM_GATE_TYPES)
+        ins = [rng.choice(nets) for _ in range(gate_type.num_inputs)]
+        output = f"n{g}"
+        c.add_gate(f"g{g}", gate_type, ins, output)
+        nets.append(output)
+    # Every net nothing reads becomes a primary output (at least one exists:
+    # the last gate's output has no reader).
+    read = {n for gate in c for n in gate.inputs}
+    for net in c.nets():
+        if net not in read and net not in c.primary_inputs:
+            c.add_output(net)
+    c.validate()
+    return c
+
+
+# --------------------------------------------------------------------------- #
+# Compiled-circuit unit tests.
+# --------------------------------------------------------------------------- #
+class TestCompiledCircuit:
+    def test_matches_dict_simulation(self, fa_sum):
+        cc = compile_circuit(fa_sum)
+        patterns = exhaustive_patterns(fa_sum)
+        for base, mask, words in pack_pattern_blocks(patterns, len(fa_sum.primary_inputs)):
+            values = cc.evaluate(words, mask)
+            for bit, pattern in enumerate(patterns[base : base + WORD_BITS]):
+                reference = simulate_pattern(fa_sum, pattern)
+                for net, index in cc.net_index.items():
+                    assert (values[index] >> bit) & 1 == reference[net], net
+
+    def test_forced_matches_serial_forced(self, c17_circuit):
+        from repro.atpg import simulate_with_forced_net
+
+        cc = compile_circuit(c17_circuit)
+        patterns = exhaustive_patterns(c17_circuit)
+        _, mask, words = next(pack_pattern_blocks(patterns, 5))
+        good = cc.evaluate(words, mask)
+        net = "G11"
+        index = cc.net_index[net]
+        faulty = cc.evaluate_forced(good, index, mask, mask)
+        _, reachable = cc.cone(index)
+        for bit, pattern in enumerate(patterns):
+            reference = simulate_with_forced_net(c17_circuit, pattern, net, 1)
+            for out in reachable:
+                assert (faulty[out] >> bit) & 1 == reference[cc.net_names[out]]
+
+    def test_cone_excludes_driver_and_reaches_outputs(self, c17_circuit):
+        cc = compile_circuit(c17_circuit)
+        index = cc.net_index["G11"]
+        ops, outputs = cc.cone(index)
+        assert all(out != index for _code, out, _ins in ops)
+        assert set(outputs) == {cc.net_index["G22"], cc.net_index["G23"]}
+        # G10 only reaches G22.
+        _, g10_outs = cc.cone(cc.net_index["G10"])
+        assert set(g10_outs) == {cc.net_index["G22"]}
+
+    def test_pack_blocks_round_trip(self):
+        patterns = [(i & 1, (i >> 1) & 1) for i in range(70)]
+        blocks = list(pack_pattern_blocks(patterns, 2))
+        assert [b[0] for b in blocks] == [0, 64]
+        assert blocks[0][1] == (1 << 64) - 1 and blocks[1][1] == (1 << 6) - 1
+        for base, _mask, words in blocks:
+            for bit, pattern in enumerate(patterns[base : base + WORD_BITS]):
+                assert tuple((w >> bit) & 1 for w in words) == pattern
+
+    def test_pack_pairs_aligns_blocks(self):
+        pairs = [((0, 1), (1, 1)), ((1, 0), (0, 0))]
+        [(base, mask, w1, w2)] = list(pack_pair_blocks(pairs, 2))
+        assert base == 0 and mask == 0b11
+        assert [(w >> 1) & 1 for w in w1] == [1, 0]
+        assert [(w >> 1) & 1 for w in w2] == [0, 0]
+
+    def test_iter_bits(self):
+        assert list(iter_bits(0)) == []
+        assert list(iter_bits(0b1011001)) == [0, 3, 4, 6]
+
+    def test_non_binary_pattern_rejected_like_serial(self, c17_circuit):
+        """Both engines reject non-0/1 pattern bits (engine parity)."""
+        from repro.logic import LogicCircuitError
+
+        faults = list(stuck_at_universe(c17_circuit))
+        bad = [(2, 0, 1, 0, 1)]
+        with pytest.raises(LogicCircuitError):
+            simulate_stuck_at(c17_circuit, bad, faults)
+        with pytest.raises(LogicCircuitError):
+            simulate_stuck_at(c17_circuit, bad, faults, engine="serial")
+
+
+# --------------------------------------------------------------------------- #
+# Fixture-based bit-identity (the acceptance-criteria circuits).
+# --------------------------------------------------------------------------- #
+class TestPackedSerialIdentity:
+    @pytest.mark.parametrize("drop", [False, True])
+    def test_full_adder_all_models(self, fa_sum, drop):
+        patterns = exhaustive_patterns(fa_sum)
+        pairs = exhaustive_pairs(fa_sum)
+        sa = list(stuck_at_universe(fa_sum))
+        packed = packed_simulate_stuck_at(fa_sum, patterns, sa, drop_detected=drop)
+        serial = serial_simulate_stuck_at(fa_sum, patterns, sa, drop_detected=drop)
+        assert packed.detections == serial.detections
+        tr = list(transition_fault_universe(fa_sum))
+        packed = packed_simulate_transition(fa_sum, pairs, tr, drop_detected=drop)
+        serial = serial_simulate_transition(fa_sum, pairs, tr, drop_detected=drop)
+        assert packed.detections == serial.detections
+        obd = list(obd_fault_universe(fa_sum))
+        packed = packed_simulate_obd(fa_sum, pairs, obd, drop_detected=drop)
+        serial = serial_simulate_obd(fa_sum, pairs, obd, drop_detected=drop)
+        assert packed.detections == serial.detections
+
+    def test_c17_all_models(self, c17_circuit):
+        patterns = exhaustive_patterns(c17_circuit)
+        pairs = random_pairs(c17_circuit, 100, seed=5)
+        sa = list(stuck_at_universe(c17_circuit))
+        assert (
+            packed_simulate_stuck_at(c17_circuit, patterns, sa).detections
+            == serial_simulate_stuck_at(c17_circuit, patterns, sa).detections
+        )
+        tr = list(transition_fault_universe(c17_circuit))
+        assert (
+            packed_simulate_transition(c17_circuit, pairs, tr).detections
+            == serial_simulate_transition(c17_circuit, pairs, tr).detections
+        )
+        obd = list(obd_fault_universe(c17_circuit))
+        assert (
+            packed_simulate_obd(c17_circuit, pairs, obd).detections
+            == serial_simulate_obd(c17_circuit, pairs, obd).detections
+        )
+
+    def test_default_entry_points_use_packed(self, c17_circuit):
+        """simulate_* with default engine equals both explicit engines."""
+        patterns = exhaustive_patterns(c17_circuit)
+        faults = list(stuck_at_universe(c17_circuit))
+        default = simulate_stuck_at(c17_circuit, patterns, faults)
+        explicit = simulate_stuck_at(c17_circuit, patterns, faults, engine="serial")
+        assert default.detections == explicit.detections
+        with pytest.raises(ValueError):
+            simulate_stuck_at(c17_circuit, patterns, faults, engine="warp")
+
+    def test_num_tests_and_coverage_survive_delegation(self, fa_sum):
+        pairs = exhaustive_pairs(fa_sum)
+        faults = list(obd_fault_universe(fa_sum, gate_types=[GateType.NAND2]))
+        report = simulate_obd(fa_sum, pairs, faults)
+        assert report.num_tests == len(pairs)
+        assert 0.0 < report.coverage <= 1.0
+
+
+# --------------------------------------------------------------------------- #
+# Property tests: random circuits, random pattern sets.
+# --------------------------------------------------------------------------- #
+circuit_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.integers(min_value=1, max_value=5),  # inputs
+    st.integers(min_value=1, max_value=12),  # gates
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit_params, st.integers(min_value=0, max_value=10_000), st.booleans())
+def test_packed_equals_serial_stuck_at(params, pattern_seed, drop):
+    circuit = random_circuit(*params)
+    patterns = random_patterns(circuit, 70, seed=pattern_seed)
+    faults = list(stuck_at_universe(circuit))
+    packed = packed_simulate_stuck_at(circuit, patterns, faults, drop_detected=drop)
+    serial = serial_simulate_stuck_at(circuit, patterns, faults, drop_detected=drop)
+    assert packed.detections == serial.detections
+    assert packed.num_tests == serial.num_tests
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit_params, st.integers(min_value=0, max_value=10_000), st.booleans())
+def test_packed_equals_serial_transition(params, pattern_seed, drop):
+    circuit = random_circuit(*params)
+    pairs = random_pairs(circuit, 70, seed=pattern_seed)
+    faults = list(transition_fault_universe(circuit))
+    packed = packed_simulate_transition(circuit, pairs, faults, drop_detected=drop)
+    serial = serial_simulate_transition(circuit, pairs, faults, drop_detected=drop)
+    assert packed.detections == serial.detections
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit_params, st.integers(min_value=0, max_value=10_000), st.booleans())
+def test_packed_equals_serial_obd(params, pattern_seed, drop):
+    circuit = random_circuit(*params)
+    pairs = random_pairs(circuit, 70, seed=pattern_seed)
+    faults = list(obd_fault_universe(circuit))
+    packed = packed_simulate_obd(circuit, pairs, faults, drop_detected=drop)
+    serial = serial_simulate_obd(circuit, pairs, faults, drop_detected=drop)
+    assert packed.detections == serial.detections

@@ -99,6 +99,35 @@ class TestOperatingPoint:
         i_p = mp.drain_current(v["out"], v["in"], v["vdd"], v["vdd"])
         assert i_n + i_p == pytest.approx(0.0, abs=1e-6)
 
+    def test_gmin_stepping_discards_non_finite_rung(self, monkeypatch):
+        """Regression: a rung that diverges to NaN must not poison the next
+        rung's starting point (and the dead converged-branch is gone)."""
+        from repro.spice.analysis import solver as solver_module
+        from repro.spice.elements import StampContext
+
+        system = MnaSystem(_divider())
+        ctx = StampContext(mode="dc", gmin=1e-12)
+        real_newton = solver_module.newton_solve
+        starts = []
+
+        def newton_spy(system_, ctx_, x0, options=None):
+            starts.append(np.array(x0, copy=True))
+            result = real_newton(system_, ctx_, x0, options)
+            if ctx_.gmin == 1e-4:  # poison exactly one rung
+                return solver_module.SolveResult(
+                    x=np.full_like(result.x, np.nan), converged=False, iterations=1
+                )
+            return result
+
+        monkeypatch.setattr(solver_module, "newton_solve", newton_spy)
+        result = solver_module.solve_with_gmin_stepping(
+            system, ctx, system.initial_guess(), gmin_ladder=(1e-2, 1e-4, 1e-6)
+        )
+        assert result.converged
+        assert np.all(np.isfinite(result.x))
+        # The rung after the poisoned one restarted from finite values.
+        assert all(np.all(np.isfinite(x0)) for x0 in starts[2:])
+
 
 class TestDcSweep:
     def test_inverter_vtc_monotone_decreasing(self, tech):
