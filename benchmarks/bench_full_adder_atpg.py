@@ -1,7 +1,9 @@
 """E7 -- Section 4.3: OBD fault statistics of the full-adder sum circuit.
 
 Paper: 56 sites in 14 NAND gates, 32 testable, 18 of 72 transitions
-sufficient.  The reconstruction reports the same quantities on its netlist.
+sufficient.  The reconstruction reports the same quantities on its netlist,
+now computed by one declarative OBD campaign (exhaustive pattern phase +
+ATPG top-up with cross-phase fault dropping + compaction).
 """
 
 from __future__ import annotations
@@ -24,3 +26,6 @@ def test_full_adder_obd_statistics(benchmark):
     assert stats.compacted_test_count < stats.total_transitions
     # ATPG and exhaustive fault simulation agree on testability.
     assert stats.testable == stats.exhaustive_detected
+    # The ATPG phase only attempted what the exhaustive phase left undetected.
+    assert stats.atpg_skipped == stats.exhaustive_detected
+    assert stats.campaign.atpg_phase.attempted == 56 - stats.atpg_skipped

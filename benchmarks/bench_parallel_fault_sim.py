@@ -3,32 +3,45 @@
 The packed engine (64 patterns per word, shared good machine, fan-out-cone
 re-simulation) must beat the serial reference engine by at least an order of
 magnitude on a workload beyond the paper's full adder: an 8-bit ripple-carry
-adder with 256 random two-pattern sequences, all three fault models.
+adder with 256 random two-pattern sequences, all four fault models.
+
+CI smoke mode: set ``REPRO_BENCH_BITS`` / ``REPRO_BENCH_TESTS`` (e.g. 4 / 64)
+to shrink the workload so perf regressions fail loudly without a long run.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
 
 from repro.atpg import (
     packed_simulate_obd,
+    packed_simulate_path_delay,
     packed_simulate_stuck_at,
     packed_simulate_transition,
     random_pairs,
     random_patterns,
     serial_simulate_obd,
+    serial_simulate_path_delay,
     serial_simulate_stuck_at,
     serial_simulate_transition,
 )
-from repro.faults import obd_fault_universe, stuck_at_universe, transition_fault_universe
+from repro.faults import (
+    obd_fault_universe,
+    path_delay_universe,
+    stuck_at_universe,
+    transition_fault_universe,
+)
 from repro.logic import ripple_carry_adder
 
 from _report import report
 
-BITS = 8
-NUM_TESTS = 256
+BITS = int(os.environ.get("REPRO_BENCH_BITS", "8"))
+NUM_TESTS = int(os.environ.get("REPRO_BENCH_TESTS", "256"))
+#: Structural-path cap for the path-delay universe (keeps the serial run sane).
+PATH_LIMIT = int(os.environ.get("REPRO_BENCH_PATHS", "200"))
 
 
 @pytest.fixture(scope="module")
@@ -83,6 +96,27 @@ def test_packed_transition_speedup(rca8, benchmark):
     report(
         [
             f"transition   : {len(faults)} faults x {NUM_TESTS} pairs on rca{BITS}",
+            f"  serial {serial_s * 1e3:8.1f} ms | packed {packed_s * 1e3:7.1f} ms | "
+            f"speedup {speedup:6.1f}x | coverage {100 * rep.coverage:.1f}%",
+        ]
+    )
+    assert speedup >= 10.0
+
+
+@pytest.mark.benchmark(group="parallel-fault-sim")
+def test_packed_path_delay_speedup(rca8, benchmark):
+    pairs = random_pairs(rca8, NUM_TESTS, seed=14)
+    faults = list(path_delay_universe(rca8, limit=PATH_LIMIT))
+    serial_s, packed_s, rep = _speedup(
+        serial_simulate_path_delay, packed_simulate_path_delay, rca8, pairs, faults
+    )
+    benchmark.pedantic(
+        packed_simulate_path_delay, args=(rca8, pairs, faults), rounds=3, iterations=1
+    )
+    speedup = serial_s / packed_s
+    report(
+        [
+            f"path-delay   : {len(faults)} faults x {NUM_TESTS} pairs on rca{BITS}",
             f"  serial {serial_s * 1e3:8.1f} ms | packed {packed_s * 1e3:7.1f} ms | "
             f"speedup {speedup:6.1f}x | coverage {100 * rep.coverage:.1f}%",
         ]

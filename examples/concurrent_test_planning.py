@@ -8,6 +8,11 @@ often a concurrent checker must run to catch the defect before hard breakdown.
 Run with ``python examples/concurrent_test_planning.py``.
 Use ``--fast`` to skip the transistor-level characterization and reuse the
 recorded stage delays.
+
+The concurrent test set itself (which pattern pairs the checker applies)
+comes from the gate-level side: one :mod:`repro.campaign` run produces the
+compacted two-pattern test set this schedule would apply at each interval --
+see ``examples/full_adder_atpg.py``.
 """
 
 from __future__ import annotations

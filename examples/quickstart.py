@@ -1,20 +1,54 @@
-"""Quickstart: model an oxide-breakdown defect in a NAND gate and measure it.
+"""Quickstart: one campaign call at the gate level, one defect at the SPICE level.
 
-This walks through the paper's core experiment in a few lines:
+The fastest way into the codebase is the unified campaign API: pick a fault
+model from the registry (``stuck-at``, ``transition``, ``path-delay`` or the
+paper's ``obd``), describe the flow declaratively, and run it -- universe
+enumeration, pattern phase, deterministic ATPG top-up (skipping faults the
+patterns already caught), fault simulation, greedy compaction and a unified
+report all happen behind one call::
 
-1. build the Figure-5 harness (a NAND gate driven by real gates),
-2. inject the diode-resistor breakdown model into one transistor,
-3. apply a two-pattern input sequence and measure the output delay,
-4. compare against the fault-free gate and against another (non-exciting)
-   input sequence.
+    result = run_campaign(full_adder_sum(), CampaignSpec(model="obd", ...))
+
+The legacy per-model functions (``simulate_obd``, ``run_obd_atpg``, ...)
+still exist as thin wrappers over the same registry.
+
+Part 2 then drops below the gate level and walks the paper's core
+experiment: inject the diode-resistor breakdown model into one transistor of
+a real NAND gate and watch the *input-specific* delay appear -- the physical
+behaviour the OBD fault model in part 1 abstracts.
 
 Run with ``python examples/quickstart.py``.
 """
 
 from __future__ import annotations
 
+from repro.campaign import CampaignSpec, registered_models, run_campaign
 from repro.cells import build_nand_harness, characterize_harness, default_technology
 from repro.core import BreakdownStage, OBDDefect, harness_preparer
+from repro.logic import GateType, full_adder_sum
+
+
+def campaign_tour() -> None:
+    """One declarative campaign per registered fault model."""
+    circuit = full_adder_sum()
+    print(f"Registered fault models: {', '.join(registered_models())}")
+    print(f"Circuit: {circuit.summary()}\n")
+
+    # The paper's flow: OBD defect sites in the NAND gates, a single-input-
+    # change pattern phase, ATPG top-up for what the patterns missed.
+    spec = CampaignSpec(
+        model="obd",
+        universe_options={"gate_types": [GateType.NAND2]},
+        pattern_source="sic",
+        drop_detected=False,
+    )
+    print(run_campaign(circuit, spec).describe())
+    print()
+
+    # The identical pipeline under the classical baselines.
+    for model in ("stuck-at", "transition", "path-delay"):
+        print(run_campaign(circuit, CampaignSpec(model=model, pattern_source="none")).describe())
+        print()
 
 
 def measure(sequence, defect=None, label=""):
@@ -31,10 +65,8 @@ def measure(sequence, defect=None, label=""):
     return run.measurement
 
 
-def main() -> None:
-    print("Oxide-breakdown quickstart (Figure-5 NAND harness)")
-    print("=" * 60)
-
+def transistor_level_tour() -> None:
+    """The Figure-5 harness: where the OBD model's excitation conditions come from."""
     falling = ((0, 1), (1, 1))   # output falls: excites the NMOS defects
     rising_a = ((1, 1), (0, 1))  # A switches, B held at 1: excites PA only
     rising_b = ((1, 1), (1, 0))  # B switches, A held at 1: excites PB only
@@ -52,9 +84,19 @@ def main() -> None:
     measure(rising_a, OBDDefect("PA", BreakdownStage.MBD2), "(11,01) with PA at mbd2 -- excited")
     measure(rising_b, OBDDefect("PA", BreakdownStage.MBD2), "(11,10) with PA at mbd2 -- not excited")
 
+
+def main() -> None:
+    print("Part 1: unified test campaigns (gate level)")
+    print("=" * 60)
+    campaign_tour()
+
+    print("Part 2: oxide-breakdown physics (Figure-5 NAND harness)")
+    print("=" * 60)
+    transistor_level_tour()
+
     print("\nDone.  See examples/concurrent_test_planning.py for the")
     print("progression/window analysis and examples/full_adder_atpg.py for")
-    print("circuit-level test generation.")
+    print("the anatomy of the campaign pipeline on the paper's full adder.")
 
 
 if __name__ == "__main__":

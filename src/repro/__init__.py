@@ -24,8 +24,14 @@ The package is organized as a stack of substrates:
     and transistor-site enumeration.
 
 ``repro.faults`` / ``repro.atpg``
-    Classical and OBD fault models, PODEM stuck-at ATPG, two-pattern OBD
-    ATPG, fault simulation, compaction and coverage reporting.
+    Classical and OBD fault models, PODEM stuck-at ATPG, two-pattern OBD and
+    path-delay ATPG, fault simulation, compaction and coverage reporting.
+
+``repro.campaign``
+    The unified test-campaign API: a fault-model registry (stuck-at,
+    transition, path-delay, OBD behind one ``FaultModel`` interface) and the
+    declarative ``CampaignSpec``/``Campaign`` pipeline runner -- universe,
+    pattern phase, ATPG top-up, compaction, unified reporting.
 
 ``repro.testing``
     Concurrent-testing support: detection window-of-opportunity analysis and
@@ -44,6 +50,7 @@ __all__ = [
     "logic",
     "faults",
     "atpg",
+    "campaign",
     "testing",
     "analysis",
     "experiments",

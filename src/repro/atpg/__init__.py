@@ -1,11 +1,37 @@
-"""Test generation and fault simulation (stuck-at, transition, OBD).
+"""Test generation and fault simulation (stuck-at, transition, path-delay, OBD).
+
+Campaign API (preferred)
+------------------------
+
+The recommended way to drive this package is the unified campaign API in
+:mod:`repro.campaign`: every fault model is registered as a
+:class:`~repro.campaign.FaultModel` (universe builder, pattern-source kind,
+ATPG routine and packed/serial simulation hooks behind one interface), and a
+declarative :class:`~repro.campaign.CampaignSpec` runs the whole pipeline --
+universe, optional collapsing, random/exhaustive/SIC pattern phase with
+fault dropping, deterministic ATPG top-up for the still-undetected faults,
+greedy compaction and a unified :class:`~repro.campaign.CampaignResult`::
+
+    from repro.campaign import CampaignSpec, run_campaign
+    from repro.logic import full_adder_sum
+
+    result = run_campaign(full_adder_sum(), CampaignSpec(model="obd"))
+    print(result.describe())
+
+Compatibility wrappers
+----------------------
+
+The per-model free functions exported here (``simulate_stuck_at`` /
+``simulate_transition`` / ``simulate_path_delay`` / ``simulate_obd``, the
+per-model ``generate_*_test`` routines and ``run_obd_atpg``) predate the
+registry and are kept as thin wrappers over it; existing callers keep
+working unchanged.
 
 Fault-simulation engines
 ------------------------
 
 Two engines produce identical :class:`~repro.atpg.fault_sim.DetectionReport`
-objects behind the ``simulate_stuck_at`` / ``simulate_transition`` /
-``simulate_obd`` entry points:
+objects behind the ``simulate_*`` entry points:
 
 * **packed** (default) -- the bit-parallel engine in
   :mod:`repro.atpg.parallel_sim`.  Patterns are packed 64 per machine word
@@ -19,7 +45,7 @@ objects behind the ``simulate_stuck_at`` / ``simulate_transition`` /
   specification the packed engine is property-tested against.  Reach for it
   when debugging a coverage discrepancy or adding a new fault model.
 
-All three models support ``drop_detected`` (stop simulating a fault after its
+All four models support ``drop_detected`` (stop simulating a fault after its
 first detection) in both engines with identical first-detection indices.
 """
 
@@ -28,10 +54,13 @@ from .coverage import CoverageReport, coverage_from_report
 from .fault_sim import (
     DetectionReport,
     obd_fault_detected,
+    path_delay_fault_detected,
     serial_simulate_obd,
+    serial_simulate_path_delay,
     serial_simulate_stuck_at,
     serial_simulate_transition,
     simulate_obd,
+    simulate_path_delay,
     simulate_stuck_at,
     simulate_transition,
     simulate_with_forced_net,
@@ -39,10 +68,12 @@ from .fault_sim import (
 )
 from .parallel_sim import (
     packed_simulate_obd,
+    packed_simulate_path_delay,
     packed_simulate_stuck_at,
     packed_simulate_transition,
 )
 from .obd_atpg import ObdAtpgSummary, ObdTestResult, generate_obd_test, run_obd_atpg
+from .path_delay_atpg import PathDelayTestResult, generate_path_delay_test
 from .podem import PodemOptions, PodemResult, generate_stuck_at_test, justify
 from .random_tpg import (
     exhaustive_pairs,
@@ -74,18 +105,24 @@ __all__ = [
     "ObdAtpgSummary",
     "generate_obd_test",
     "run_obd_atpg",
+    "PathDelayTestResult",
+    "generate_path_delay_test",
     "DetectionReport",
     "simulate_stuck_at",
     "simulate_transition",
+    "simulate_path_delay",
     "simulate_obd",
     "serial_simulate_stuck_at",
     "serial_simulate_transition",
+    "serial_simulate_path_delay",
     "serial_simulate_obd",
     "packed_simulate_stuck_at",
     "packed_simulate_transition",
+    "packed_simulate_path_delay",
     "packed_simulate_obd",
     "simulate_with_forced_net",
     "transition_fault_detected",
+    "path_delay_fault_detected",
     "obd_fault_detected",
     "exhaustive_patterns",
     "exhaustive_pairs",

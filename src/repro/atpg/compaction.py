@@ -30,27 +30,32 @@ def greedy_compaction(report: DetectionReport) -> CompactionResult:
     """Greedy minimum-cover selection of tests from a detection report.
 
     Repeatedly picks the test detecting the largest number of still-uncovered
-    faults.  Faults never detected by any test are reported as uncovered.
+    faults; ties on gain break deterministically toward the **lowest** test
+    index, independent of the order faults appear in the report.  Faults
+    never detected by any test are reported as uncovered.
     """
     detectable = {key for key, tests in report.detections.items() if tests}
     fault_sets: dict[int, set[str]] = {}
     for key, tests in report.detections.items():
         for index in tests:
             fault_sets.setdefault(index, set()).add(key)
+    candidate_order = sorted(fault_sets)
 
     uncovered = set(detectable)
     selected: list[int] = []
+    chosen: set[int] = set()
     while uncovered:
         best_index, best_gain = None, 0
-        for index, faults in fault_sets.items():
-            if index in selected:
+        for index in candidate_order:
+            if index in chosen:
                 continue
-            gain = len(faults & uncovered)
-            if gain > best_gain or (gain == best_gain and best_index is not None and index < best_index and gain > 0):
+            gain = len(fault_sets[index] & uncovered)
+            if gain > best_gain:
                 best_index, best_gain = index, gain
-        if best_index is None or best_gain == 0:
+        if best_index is None:
             break
         selected.append(best_index)
+        chosen.add(best_index)
         uncovered -= fault_sets[best_index]
 
     never_detected = tuple(sorted(set(report.detections) - detectable))

@@ -1,4 +1,4 @@
-"""Fault simulation for stuck-at, transition and OBD fault models.
+"""Fault simulation for the stuck-at, transition, path-delay and OBD models.
 
 Two engines sit behind one API.  The default is the **packed** bit-parallel
 engine (:mod:`repro.atpg.parallel_sim`): patterns are simulated 64 at a time
@@ -9,8 +9,13 @@ cone.  The **serial** engine in this module re-walks the circuit one
 engine is property-tested against, and remains available via
 ``engine="serial"`` for debugging and for cross-checking.
 
-Both engines implement the same models: classical stuck-at, classical
-transition, and the paper's OBD model whose *input-specific* excitation
+The ``simulate_*`` entry points are thin compatibility wrappers over the
+fault-model registry (:mod:`repro.campaign`): each registered
+:class:`~repro.campaign.FaultModel` packages the serial and packed hooks of
+one model, and :class:`~repro.campaign.Campaign` drives them through the full
+universe -> patterns -> ATPG -> compaction pipeline.  The models are:
+classical stuck-at, classical transition, path-delay (non-robust functional
+sensitization) and the paper's OBD model whose *input-specific* excitation
 conditions are enforced before checking propagation -- the behavioural
 difference from transition-fault simulation that Section 4.1 is about.
 """
@@ -22,6 +27,7 @@ from typing import Iterable, Sequence
 
 from ..core.excitation import Sequence2
 from ..faults.obd import ObdFault
+from ..faults.path_delay import RISING, PathDelayFault
 from ..faults.stuck_at import StuckAtFault
 from ..faults.transition import TransitionFault
 from ..logic.netlist import LogicCircuit
@@ -100,13 +106,15 @@ def simulate_stuck_at(
     drop_detected: bool = False,
     engine: str = "packed",
 ) -> DetectionReport:
-    """Stuck-at fault simulation of a pattern set (packed engine by default)."""
-    _check_engine(engine)
-    if engine == "packed":
-        from .parallel_sim import packed_simulate_stuck_at
+    """Stuck-at fault simulation of a pattern set (packed engine by default).
 
-        return packed_simulate_stuck_at(circuit, patterns, faults, drop_detected=drop_detected)
-    return serial_simulate_stuck_at(circuit, patterns, faults, drop_detected=drop_detected)
+    Compatibility wrapper over ``get_model("stuck-at").simulate``.
+    """
+    from ..campaign import get_model
+
+    return get_model("stuck-at").simulate(
+        circuit, patterns, faults, drop_detected=drop_detected, engine=engine
+    )
 
 
 def serial_simulate_stuck_at(
@@ -173,13 +181,15 @@ def simulate_transition(
     drop_detected: bool = False,
     engine: str = "packed",
 ) -> DetectionReport:
-    """Transition-fault simulation of a two-pattern test set (packed default)."""
-    _check_engine(engine)
-    if engine == "packed":
-        from .parallel_sim import packed_simulate_transition
+    """Transition-fault simulation of a two-pattern test set (packed default).
 
-        return packed_simulate_transition(circuit, pairs, faults, drop_detected=drop_detected)
-    return serial_simulate_transition(circuit, pairs, faults, drop_detected=drop_detected)
+    Compatibility wrapper over ``get_model("transition").simulate``.
+    """
+    from ..campaign import get_model
+
+    return get_model("transition").simulate(
+        circuit, pairs, faults, drop_detected=drop_detected, engine=engine
+    )
 
 
 def serial_simulate_transition(
@@ -202,6 +212,83 @@ def serial_simulate_transition(
             if _transition_detected_with_values(
                 circuit, fault, second, values1, values2, good_outputs
             ):
+                detections[fault.key].append(index)
+                remaining.discard(fault.key)
+    return DetectionReport(detections=detections, num_tests=len(pairs))
+
+
+# --------------------------------------------------------------------------- #
+# Path-delay faults.
+# --------------------------------------------------------------------------- #
+def _path_delay_sensitized_with_values(
+    fault: PathDelayFault,
+    values1: dict[str, int],
+    values2: dict[str, int],
+) -> bool:
+    """Non-robust sensitization check against precomputed good-machine values.
+
+    Same criterion as :func:`repro.faults.path_delay.is_sensitized`: the
+    launch net makes the fault's edge and every net along the path toggles.
+    """
+    expected = 1 if fault.direction == RISING else 0
+    if values2[fault.launch_net] != expected:
+        return False
+    return all(values1[net] != values2[net] for net in fault.nets)
+
+
+def path_delay_fault_detected(
+    circuit: LogicCircuit,
+    fault: PathDelayFault,
+    pair: PatternPair,
+) -> bool:
+    """Does the two-pattern *pair* detect (sensitize) the path-delay fault?
+
+    A path-delay fault is detected by any pair that functionally sensitizes
+    the path: the slow edge launched at the path input then arrives late at
+    the capture net, which for paths from :func:`~repro.faults.path_delay.
+    path_delay_universe` is a primary output.
+    """
+    first, second = pair
+    values1 = simulate_pattern(circuit, first)
+    values2 = simulate_pattern(circuit, second)
+    return _path_delay_sensitized_with_values(fault, values1, values2)
+
+
+def simulate_path_delay(
+    circuit: LogicCircuit,
+    pairs: Sequence[PatternPair],
+    faults: Iterable[PathDelayFault],
+    drop_detected: bool = False,
+    engine: str = "packed",
+) -> DetectionReport:
+    """Path-delay fault simulation of a two-pattern test set (packed default).
+
+    Compatibility wrapper over ``get_model("path-delay").simulate``.
+    """
+    from ..campaign import get_model
+
+    return get_model("path-delay").simulate(
+        circuit, pairs, faults, drop_detected=drop_detected, engine=engine
+    )
+
+
+def serial_simulate_path_delay(
+    circuit: LogicCircuit,
+    pairs: Sequence[PatternPair],
+    faults: Iterable[PathDelayFault],
+    drop_detected: bool = False,
+) -> DetectionReport:
+    """Serial reference engine; good machine computed once per pair."""
+    fault_list = list(faults)
+    detections: dict[str, list[int]] = {f.key: [] for f in fault_list}
+    remaining = set(detections)
+    for index, (first, second) in enumerate(pairs):
+        values1 = simulate_pattern(circuit, first)
+        values2 = simulate_pattern(circuit, second)
+        for fault in fault_list:
+            if drop_detected and fault.key not in remaining:
+                continue
+            if _path_delay_sensitized_with_values(fault, values1, values2):
                 detections[fault.key].append(index)
                 remaining.discard(fault.key)
     return DetectionReport(detections=detections, num_tests=len(pairs))
@@ -257,13 +344,15 @@ def simulate_obd(
     drop_detected: bool = False,
     engine: str = "packed",
 ) -> DetectionReport:
-    """OBD fault simulation of a two-pattern test set (packed engine default)."""
-    _check_engine(engine)
-    if engine == "packed":
-        from .parallel_sim import packed_simulate_obd
+    """OBD fault simulation of a two-pattern test set (packed engine default).
 
-        return packed_simulate_obd(circuit, pairs, faults, drop_detected=drop_detected)
-    return serial_simulate_obd(circuit, pairs, faults, drop_detected=drop_detected)
+    Compatibility wrapper over ``get_model("obd").simulate``.
+    """
+    from ..campaign import get_model
+
+    return get_model("obd").simulate(
+        circuit, pairs, faults, drop_detected=drop_detected, engine=engine
+    )
 
 
 def serial_simulate_obd(

@@ -21,8 +21,8 @@ exhausted without an abort.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
 
 from ..core.excitation import Sequence2
 from ..faults.obd import ObdFault
@@ -30,7 +30,7 @@ from ..faults.stuck_at import StuckAtFault
 from ..logic.gates import evaluate_gate
 from ..logic.netlist import LogicCircuit
 from .podem import PodemOptions, generate_stuck_at_test, justify
-from .two_pattern import TwoPatternTest
+from .two_pattern import TwoPatternTest, pattern_tuple
 
 
 @dataclass
@@ -47,10 +47,6 @@ class ObdTestResult:
     @property
     def untestable(self) -> bool:
         return not self.success and not self.aborted
-
-
-def _pattern_tuple(circuit: LogicCircuit, pattern: dict[str, int]) -> tuple[int, ...]:
-    return tuple(pattern[n] for n in circuit.primary_inputs)
 
 
 def _consistent_constraints(nets, bits) -> dict[str, int] | None:
@@ -106,8 +102,8 @@ def generate_obd_test(
             continue
 
         test = TwoPatternTest(
-            first=_pattern_tuple(circuit, launch.pattern),
-            second=_pattern_tuple(circuit, capture.pattern),
+            first=pattern_tuple(circuit, launch.pattern),
+            second=pattern_tuple(circuit, capture.pattern),
         )
         return ObdTestResult(
             fault=fault,
@@ -129,9 +125,15 @@ def generate_obd_test(
 
 @dataclass
 class ObdAtpgSummary:
-    """Aggregate result of running OBD ATPG over a fault universe."""
+    """Aggregate result of running OBD ATPG over a fault universe.
+
+    ``skipped`` lists the faults that were never handed to the PODEM engine
+    because an earlier pattern phase had already detected them (cross-phase
+    fault dropping); ``results`` covers only the attempted faults.
+    """
 
     results: list[ObdTestResult]
+    skipped: list[ObdFault] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -158,18 +160,35 @@ class ObdAtpgSummary:
         return sum(r.backtracks for r in self.results)
 
     def describe(self) -> str:
-        return (
+        line = (
             f"OBD ATPG: {self.total} faults, {len(self.testable)} testable, "
             f"{len(self.untestable)} untestable, {len(self.aborted)} aborted, "
             f"{self.backtracks} backtracks"
         )
+        if self.skipped:
+            line += f", {len(self.skipped)} skipped (already detected)"
+        return line
 
 
 def run_obd_atpg(
     circuit: LogicCircuit,
     faults,
     options: PodemOptions | None = None,
+    already_detected: Iterable[str] | None = None,
 ) -> ObdAtpgSummary:
-    """Run :func:`generate_obd_test` over an iterable of OBD faults."""
-    results = [generate_obd_test(circuit, fault, options=options) for fault in faults]
-    return ObdAtpgSummary(results=results)
+    """Run :func:`generate_obd_test` over an iterable of OBD faults.
+
+    Faults whose keys appear in *already_detected* (typically the detected
+    set of an earlier pattern-phase fault simulation) are skipped instead of
+    re-running PODEM for them; they are reported in the summary's
+    ``skipped`` list.
+    """
+    skip = frozenset(already_detected or ())
+    results: list[ObdTestResult] = []
+    skipped: list[ObdFault] = []
+    for fault in faults:
+        if fault.key in skip:
+            skipped.append(fault)
+            continue
+        results.append(generate_obd_test(circuit, fault, options=options))
+    return ObdAtpgSummary(results=results, skipped=skipped)

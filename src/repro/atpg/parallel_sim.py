@@ -4,7 +4,7 @@ This is the fast engine behind :mod:`repro.atpg.fault_sim`: patterns are
 packed into machine-word bit-vectors (:mod:`repro.logic.compiled`), the
 good machine is evaluated **once per pattern block** and shared across every
 fault, and each fault costs only a forced re-simulation of its fan-out cone
-over the packed words.  All three fault models of the reproduction are
+over the packed words.  All four fault models of the reproduction are
 supported and produce :class:`~repro.atpg.fault_sim.DetectionReport`s that
 are bit-identical to the serial reference engine:
 
@@ -15,6 +15,9 @@ are bit-identical to the serial reference engine:
 * **transition** -- evaluate both patterns of each pair, require
   launch/final values at the faulty net, and clamp the net to the launch
   value during the second-pattern re-simulation;
+* **path-delay** -- non-robust functional sensitization: the detection word
+  is the AND over the path nets of the per-net toggle words (with the launch
+  edge direction enforced), so no forced re-simulation is needed at all;
 * **OBD** -- the input-specific model of the paper: the excitation word is
   the OR over the fault's local sequences of per-pin match words, and the
   faulty machine holds the gate output at its *first-pattern* value (a
@@ -31,6 +34,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..faults.obd import ObdFault
+from ..faults.path_delay import RISING, PathDelayFault
 from ..faults.stuck_at import StuckAtFault
 from ..faults.transition import TransitionFault
 from ..logic.compiled import (
@@ -133,6 +137,48 @@ def packed_simulate_transition(
             detected = _output_diff(faulty, good2, outputs) & excited
             if detected:
                 _record(detections, remaining, fault.key, base, detected, drop_detected)
+    return DetectionReport(detections=detections, num_tests=len(pairs))
+
+
+def packed_simulate_path_delay(
+    circuit: LogicCircuit,
+    pairs: Sequence[PatternPair],
+    faults: Iterable[PathDelayFault],
+    drop_detected: bool = False,
+    compiled: CompiledCircuit | None = None,
+) -> DetectionReport:
+    """Bit-parallel path-delay fault simulation of a two-pattern test set.
+
+    Detection is non-robust functional sensitization (the criterion of
+    :func:`repro.faults.path_delay.is_sensitized`): the launch net reaches the
+    fault's post-edge value in the second pattern and every net along the path
+    toggles between the two patterns, so the slow edge arrives late at the
+    path's capture net.  The sensitization word is the AND over the path nets
+    of the per-net toggle words -- no forced re-simulation is needed.
+    """
+    cc = compiled if compiled is not None else compile_circuit(circuit)
+    fault_list = list(faults)
+    detections: dict[str, list[int]] = {f.key: [] for f in fault_list}
+    remaining = set(detections)
+    sites = [
+        (fault, tuple(cc.net_index[net] for net in fault.nets), fault.direction == RISING)
+        for fault in fault_list
+    ]
+    for base, mask, words1, words2 in pack_pair_blocks(pairs, len(cc.input_indices)):
+        if drop_detected and not remaining:
+            break
+        good1 = cc.evaluate(words1, mask)
+        good2 = cc.evaluate(words2, mask)
+        for fault, nets, rising in sites:
+            if drop_detected and fault.key not in remaining:
+                continue
+            word = ~(good2[nets[0]] ^ (mask if rising else 0)) & mask
+            for net in nets:
+                if not word:
+                    break
+                word &= good1[net] ^ good2[net]
+            if word:
+                _record(detections, remaining, fault.key, base, word, drop_detected)
     return DetectionReport(detections=detections, num_tests=len(pairs))
 
 

@@ -43,7 +43,8 @@ class TwoPatternResult:
         return not self.success and not self.aborted
 
 
-def _pattern_tuple(circuit: LogicCircuit, pattern: dict[str, int]) -> tuple[int, ...]:
+def pattern_tuple(circuit: LogicCircuit, pattern: dict[str, int]) -> tuple[int, ...]:
+    """A PODEM pattern dict as a tuple in primary-input order."""
     return tuple(pattern[n] for n in circuit.primary_inputs)
 
 
@@ -69,7 +70,7 @@ def generate_transition_test(
         return TwoPatternResult(False, None, backtracks, aborted=launch.aborted)
 
     test = TwoPatternTest(
-        first=_pattern_tuple(circuit, launch.pattern),
-        second=_pattern_tuple(circuit, capture.pattern),
+        first=pattern_tuple(circuit, launch.pattern),
+        second=pattern_tuple(circuit, capture.pattern),
     )
     return TwoPatternResult(True, test, backtracks)

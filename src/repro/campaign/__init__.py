@@ -1,0 +1,68 @@
+"""Unified test campaigns over a fault-model registry.
+
+The paper's argument is a *flow* -- enumerate defect sites, generate
+input-specific two-pattern tests, fault-simulate, compact and schedule -- and
+this package exposes that flow as one declarative API:
+
+* :class:`FaultModel` / :func:`register_model` / :func:`get_model` -- the
+  registry under which each fault model (stuck-at, transition, path-delay,
+  OBD) packages its universe builder, pattern-source kind, ATPG routine and
+  packed/serial simulation hooks.
+* :class:`CampaignSpec` / :class:`Campaign` / :func:`run_campaign` -- the
+  declarative pipeline runner: fault universe (with optional collapsing), a
+  random / exhaustive / single-input-change pattern phase with fault
+  dropping, deterministic ATPG top-up that skips already-detected faults,
+  greedy compaction and a unified :class:`CampaignResult`.
+
+The per-model free functions in :mod:`repro.atpg` (``simulate_stuck_at``,
+``run_obd_atpg``, ...) remain as thin compatibility wrappers over this
+registry.
+
+>>> from repro.campaign import CampaignSpec, run_campaign
+>>> from repro.logic import full_adder_sum
+>>> result = run_campaign(full_adder_sum(), CampaignSpec(model="obd"))
+>>> print(result.describe())          # doctest: +SKIP
+"""
+
+from .model import (
+    SINGLE_PATTERN,
+    TWO_PATTERN,
+    AtpgOutcome,
+    FaultModel,
+    get_model,
+    register_model,
+    registered_models,
+)
+from .models import ObdModel, PathDelayModel, StuckAtModel, TransitionModel
+from .runner import (
+    PATTERN_SOURCES,
+    AtpgPhaseResult,
+    Campaign,
+    CampaignError,
+    CampaignResult,
+    CampaignSpec,
+    PatternPhaseResult,
+    run_campaign,
+)
+
+__all__ = [
+    "FaultModel",
+    "AtpgOutcome",
+    "SINGLE_PATTERN",
+    "TWO_PATTERN",
+    "register_model",
+    "get_model",
+    "registered_models",
+    "StuckAtModel",
+    "TransitionModel",
+    "PathDelayModel",
+    "ObdModel",
+    "PATTERN_SOURCES",
+    "CampaignError",
+    "CampaignSpec",
+    "Campaign",
+    "CampaignResult",
+    "PatternPhaseResult",
+    "AtpgPhaseResult",
+    "run_campaign",
+]

@@ -1,0 +1,232 @@
+"""The four registered fault models of the reproduction.
+
+Each adapter packages one model's universe builder, structural collapsing,
+packed/serial fault-simulation hooks and deterministic ATPG behind the
+:class:`~repro.campaign.model.FaultModel` protocol.  The legacy free
+functions (``simulate_stuck_at``, ``run_obd_atpg``, ...) remain available as
+thin wrappers over these adapters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..atpg.fault_sim import (
+    DetectionReport,
+    _check_engine,
+    serial_simulate_obd,
+    serial_simulate_path_delay,
+    serial_simulate_stuck_at,
+    serial_simulate_transition,
+)
+from ..atpg.obd_atpg import generate_obd_test
+from ..atpg.parallel_sim import (
+    packed_simulate_obd,
+    packed_simulate_path_delay,
+    packed_simulate_stuck_at,
+    packed_simulate_transition,
+)
+from ..atpg.path_delay_atpg import generate_path_delay_test
+from ..atpg.podem import PodemOptions, generate_stuck_at_test
+from ..atpg.two_pattern import generate_transition_test, pattern_tuple
+from ..faults.base import FaultList
+from ..faults.collapse import collapse_stuck_at_faults, obd_equivalence_groups
+from ..faults.obd import ObdFault, obd_fault_universe
+from ..faults.path_delay import PathDelayFault, path_delay_universe
+from ..faults.stuck_at import StuckAtFault, stuck_at_universe
+from ..faults.transition import TransitionFault, transition_fault_universe
+from ..logic.netlist import LogicCircuit
+from .model import SINGLE_PATTERN, TWO_PATTERN, AtpgOutcome, register_model
+
+
+def _dispatch(packed_fn, serial_fn, circuit, tests, faults, drop_detected, engine):
+    _check_engine(engine)
+    fn = packed_fn if engine == "packed" else serial_fn
+    return fn(circuit, tests, faults, drop_detected=drop_detected)
+
+
+class StuckAtModel:
+    """Classical single stuck-at model: single patterns, PODEM ATPG."""
+
+    name = "stuck-at"
+    pattern_kind = SINGLE_PATTERN
+    description = "single stuck-at faults on every net, PODEM test generation"
+
+    def build_universe(self, circuit: LogicCircuit, **options: Any) -> FaultList:
+        return stuck_at_universe(circuit, **options)
+
+    def collapse(self, circuit: LogicCircuit, faults: FaultList) -> FaultList:
+        collapsed = collapse_stuck_at_faults(circuit)
+        return faults.filtered(lambda f: f in collapsed)
+
+    def simulate(
+        self,
+        circuit: LogicCircuit,
+        tests: Sequence,
+        faults: Iterable[StuckAtFault],
+        *,
+        drop_detected: bool = False,
+        engine: str = "packed",
+    ) -> DetectionReport:
+        return _dispatch(
+            packed_simulate_stuck_at,
+            serial_simulate_stuck_at,
+            circuit,
+            tests,
+            faults,
+            drop_detected,
+            engine,
+        )
+
+    def generate_test(
+        self,
+        circuit: LogicCircuit,
+        fault: StuckAtFault,
+        options: PodemOptions | None = None,
+    ) -> AtpgOutcome:
+        result = generate_stuck_at_test(circuit, fault, options=options)
+        tests = (pattern_tuple(circuit, result.pattern),) if result.success else ()
+        return AtpgOutcome(fault, result.success, tests, result.backtracks, result.aborted)
+
+
+class TransitionModel:
+    """Classical transition (slow-to-rise / slow-to-fall) model."""
+
+    name = "transition"
+    pattern_kind = TWO_PATTERN
+    description = "transition faults on every net, launch/capture two-pattern ATPG"
+
+    def build_universe(self, circuit: LogicCircuit, **options: Any) -> FaultList:
+        return transition_fault_universe(circuit, **options)
+
+    def collapse(self, circuit: LogicCircuit, faults: FaultList) -> FaultList:
+        return faults
+
+    def simulate(
+        self,
+        circuit: LogicCircuit,
+        tests: Sequence,
+        faults: Iterable[TransitionFault],
+        *,
+        drop_detected: bool = False,
+        engine: str = "packed",
+    ) -> DetectionReport:
+        return _dispatch(
+            packed_simulate_transition,
+            serial_simulate_transition,
+            circuit,
+            tests,
+            faults,
+            drop_detected,
+            engine,
+        )
+
+    def generate_test(
+        self,
+        circuit: LogicCircuit,
+        fault: TransitionFault,
+        options: PodemOptions | None = None,
+    ) -> AtpgOutcome:
+        result = generate_transition_test(circuit, fault, options=options)
+        tests = ((result.test.first, result.test.second),) if result.success else ()
+        return AtpgOutcome(fault, result.success, tests, result.backtracks, result.aborted)
+
+
+class PathDelayModel:
+    """Path-delay model: non-robust sensitization over structural paths."""
+
+    name = "path-delay"
+    pattern_kind = TWO_PATTERN
+    description = "path-delay faults along structural paths, non-robust sensitization"
+
+    def build_universe(self, circuit: LogicCircuit, **options: Any) -> FaultList:
+        return path_delay_universe(circuit, **options)
+
+    def collapse(self, circuit: LogicCircuit, faults: FaultList) -> FaultList:
+        return faults
+
+    def simulate(
+        self,
+        circuit: LogicCircuit,
+        tests: Sequence,
+        faults: Iterable[PathDelayFault],
+        *,
+        drop_detected: bool = False,
+        engine: str = "packed",
+    ) -> DetectionReport:
+        return _dispatch(
+            packed_simulate_path_delay,
+            serial_simulate_path_delay,
+            circuit,
+            tests,
+            faults,
+            drop_detected,
+            engine,
+        )
+
+    def generate_test(
+        self,
+        circuit: LogicCircuit,
+        fault: PathDelayFault,
+        options: PodemOptions | None = None,
+    ) -> AtpgOutcome:
+        result = generate_path_delay_test(circuit, fault, options=options)
+        tests = ((result.test.first, result.test.second),) if result.success else ()
+        return AtpgOutcome(fault, result.success, tests, result.backtracks, result.aborted)
+
+
+class ObdModel:
+    """The paper's oxide-breakdown model with input-specific excitation."""
+
+    name = "obd"
+    pattern_kind = TWO_PATTERN
+    description = "transistor-level OBD defect sites, input-specific two-pattern ATPG"
+
+    def build_universe(self, circuit: LogicCircuit, **options: Any) -> FaultList:
+        return obd_fault_universe(circuit, **options)
+
+    def collapse(self, circuit: LogicCircuit, faults: FaultList) -> FaultList:
+        """One representative per gate-local equivalence group.
+
+        Faults in a group share identical excitation-condition sets (e.g. NA
+        and NB of a NAND), so any test set covering the representative covers
+        the whole group.
+        """
+        groups = obd_equivalence_groups(faults)
+        representatives = {members[0].key for members in groups.values()}
+        return faults.filtered(lambda f: f.key in representatives)
+
+    def simulate(
+        self,
+        circuit: LogicCircuit,
+        tests: Sequence,
+        faults: Iterable[ObdFault],
+        *,
+        drop_detected: bool = False,
+        engine: str = "packed",
+    ) -> DetectionReport:
+        return _dispatch(
+            packed_simulate_obd,
+            serial_simulate_obd,
+            circuit,
+            tests,
+            faults,
+            drop_detected,
+            engine,
+        )
+
+    def generate_test(
+        self,
+        circuit: LogicCircuit,
+        fault: ObdFault,
+        options: PodemOptions | None = None,
+    ) -> AtpgOutcome:
+        result = generate_obd_test(circuit, fault, options=options)
+        tests = ((result.test.first, result.test.second),) if result.success else ()
+        return AtpgOutcome(fault, result.success, tests, result.backtracks, result.aborted)
+
+
+STUCK_AT = register_model(StuckAtModel())
+TRANSITION = register_model(TransitionModel())
+PATH_DELAY = register_model(PathDelayModel())
+OBD = register_model(ObdModel())

@@ -1,0 +1,467 @@
+"""Declarative test campaigns: one pipeline for every registered fault model.
+
+A :class:`CampaignSpec` describes the whole flow the paper argues for --
+enumerate the fault universe (with optional structural collapsing), apply a
+random / exhaustive / single-input-change pattern phase with fault dropping,
+top up the remaining undetected faults with deterministic ATPG (faults
+already detected by the pattern phase are skipped, not re-run), greedily
+compact the combined test set, and report per-phase coverage -- and
+:class:`Campaign` executes it for any registered
+:class:`~repro.campaign.model.FaultModel`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+from ..atpg.compaction import CompactionResult, greedy_compaction
+from ..atpg.coverage import CoverageReport, coverage_from_report
+from ..atpg.fault_sim import DetectionReport, _check_engine
+from ..atpg.podem import PodemOptions
+from ..atpg.random_tpg import (
+    exhaustive_pairs,
+    exhaustive_patterns,
+    random_pairs,
+    random_patterns,
+    single_input_change_pairs,
+)
+from ..faults.base import FaultList
+from ..logic.netlist import LogicCircuit
+from .model import TWO_PATTERN, AtpgOutcome, FaultModel, get_model
+
+#: Accepted ``CampaignSpec.pattern_source`` values.
+PATTERN_SOURCES = ("none", "random", "exhaustive", "sic")
+
+
+class CampaignError(ValueError):
+    """An invalid campaign specification."""
+
+
+@dataclass
+class CampaignSpec:
+    """Declarative description of one test campaign.
+
+    ``universe_options`` is forwarded to the model's universe builder (e.g.
+    ``gate_types=[GateType.NAND2]`` for OBD, ``limit=...`` for path-delay).
+    ``pattern_source`` selects the optional pattern phase run before ATPG:
+    ``"random"`` (``pattern_count`` tests from ``seed``), ``"exhaustive"``,
+    or ``"sic"`` (single-input-change pairs; two-pattern models only).
+
+    ``drop_detected=True`` stops simulating each fault after its first
+    detection -- the right mode for large coverage-only campaigns, but it
+    leaves the compactor only one candidate test per fault, so the greedy
+    cover can come out larger than the true minimum.  The default keeps full
+    detection lists so compaction quality is exact.
+    """
+
+    model: str = "stuck-at"
+    universe_options: dict = field(default_factory=dict)
+    collapse: bool = False
+    pattern_source: str = "none"
+    pattern_count: int = 64
+    seed: int = 0
+    run_atpg: bool = True
+    podem_options: Optional[PodemOptions] = None
+    compact: bool = True
+    drop_detected: bool = False
+    engine: str = "packed"
+
+    def validate(self) -> None:
+        if self.pattern_source not in PATTERN_SOURCES:
+            raise CampaignError(
+                f"unknown pattern source {self.pattern_source!r}; expected one of {PATTERN_SOURCES}"
+            )
+        if self.pattern_count < 0:
+            raise CampaignError("pattern_count must be non-negative")
+        if self.pattern_source == "none" and not self.run_atpg:
+            raise CampaignError("campaign has no test phase: set pattern_source or run_atpg")
+        _check_engine(self.engine)
+
+
+@dataclass
+class PatternPhaseResult:
+    """Outcome of the random / exhaustive / SIC pattern phase."""
+
+    source: str
+    tests: list
+    report: DetectionReport
+    coverage: CoverageReport
+    runtime: float
+
+
+@dataclass
+class AtpgPhaseResult:
+    """Outcome of the deterministic ATPG top-up phase.
+
+    ``skipped`` lists the fault keys that were already detected by an earlier
+    phase and therefore never handed to the ATPG engine (cross-phase fault
+    dropping); ``outcomes`` covers only the attempted faults.
+    """
+
+    outcomes: list[AtpgOutcome]
+    skipped: tuple[str, ...]
+    tests: list
+    report: DetectionReport
+    coverage: CoverageReport
+    runtime: float
+    #: Time spent in test generation alone, excluding the verification
+    #: fault-simulation of the generated tests (use this for ATPG-cost
+    #: comparisons such as the Section-5 complexity experiment).
+    generation_runtime: float = 0.0
+
+    @property
+    def attempted(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def testable(self) -> list[AtpgOutcome]:
+        return [o for o in self.outcomes if o.success]
+
+    @property
+    def untestable(self) -> list[AtpgOutcome]:
+        return [o for o in self.outcomes if o.untestable]
+
+    @property
+    def aborted(self) -> list[AtpgOutcome]:
+        return [o for o in self.outcomes if not o.success and o.aborted]
+
+    @property
+    def backtracks(self) -> int:
+        return sum(o.backtracks for o in self.outcomes)
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced.
+
+    Test indices in :attr:`compaction` refer to the merged test list
+    (:attr:`tests`): pattern-phase tests first, ATPG tests after them.
+    """
+
+    spec: CampaignSpec
+    model_name: str
+    circuit_name: str
+    faults: FaultList
+    uncollapsed_faults: int
+    pattern_phase: Optional[PatternPhaseResult]
+    atpg_phase: Optional[AtpgPhaseResult]
+    #: All tests applied, pattern phase first, then ATPG tests; detection
+    #: and compaction indices refer to this list.
+    tests: list
+    merged_report: DetectionReport
+    compaction: Optional[CompactionResult]
+    compacted_tests: Optional[list]
+    runtime: float
+
+    # ------------------------------------------------------------------ #
+    # Merged views.
+    # ------------------------------------------------------------------ #
+    @property
+    def detections(self) -> dict[str, list[int]]:
+        """Per-fault detecting indices into the merged test list."""
+        return self.merged_report.detections
+
+    @property
+    def detected_faults(self) -> list[str]:
+        return self.merged_report.detected_faults
+
+    @property
+    def undetected_faults(self) -> list[str]:
+        return self.merged_report.undetected_faults
+
+    @property
+    def coverage(self) -> CoverageReport:
+        """Overall coverage across all phases."""
+        untestable = len(self.atpg_phase.untestable) if self.atpg_phase else 0
+        aborted = len(self.atpg_phase.aborted) if self.atpg_phase else 0
+        return CoverageReport(
+            model=self.model_name,
+            total_faults=len(self.faults),
+            detected=len(self.detected_faults),
+            untestable=untestable,
+            aborted=aborted,
+            num_tests=self.merged_report.num_tests,
+        )
+
+    @property
+    def phase_coverages(self) -> list[CoverageReport]:
+        phases = (self.pattern_phase, self.atpg_phase)
+        return [phase.coverage for phase in phases if phase is not None]
+
+    # ------------------------------------------------------------------ #
+    # Reporting.
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        overall = self.coverage
+        lines = [
+            f"campaign[{self.model_name}] on {self.circuit_name or 'circuit'}: "
+            f"{len(self.faults)} faults"
+            + (
+                f" (collapsed from {self.uncollapsed_faults})"
+                if len(self.faults) != self.uncollapsed_faults
+                else ""
+            )
+            + f", {overall.detected}/{overall.total_faults} detected "
+            f"({100.0 * overall.coverage:.1f}%)"
+        ]
+        if self.pattern_phase is not None:
+            p = self.pattern_phase
+            lines.append(
+                f"  patterns[{p.source}]: {len(p.tests)} tests -> "
+                f"{p.coverage.detected}/{p.coverage.total_faults} detected"
+            )
+        if self.atpg_phase is not None:
+            a = self.atpg_phase
+            lines.append(
+                f"  atpg: {a.attempted} attempted ({len(a.skipped)} skipped as already "
+                f"detected), {len(a.testable)} testable, {len(a.untestable)} untestable, "
+                f"{len(a.aborted)} aborted, {a.backtracks} backtracks -> {len(a.tests)} tests"
+            )
+        if self.compaction is not None:
+            lines.append(
+                f"  compaction: {self.compaction.size}/{self.merged_report.num_tests} tests "
+                f"cover {len(self.compaction.covered_faults)} faults"
+            )
+        lines.append(f"  runtime: {self.runtime * 1e3:.1f} ms")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable summary of the campaign."""
+        spec = self.spec
+        payload: dict[str, Any] = {
+            "model": self.model_name,
+            "circuit": self.circuit_name,
+            "spec": _jsonable(
+                {
+                    "model": spec.model,
+                    "universe_options": spec.universe_options,
+                    "collapse": spec.collapse,
+                    "pattern_source": spec.pattern_source,
+                    "pattern_count": spec.pattern_count,
+                    "seed": spec.seed,
+                    "run_atpg": spec.run_atpg,
+                    "compact": spec.compact,
+                    "drop_detected": spec.drop_detected,
+                    "engine": spec.engine,
+                }
+            ),
+            "faults": len(self.faults),
+            "uncollapsed_faults": self.uncollapsed_faults,
+            "coverage": _coverage_dict(self.coverage),
+            "detections": {key: list(indices) for key, indices in self.detections.items()},
+            "runtime_s": self.runtime,
+        }
+        if self.pattern_phase is not None:
+            payload["pattern_phase"] = {
+                "source": self.pattern_phase.source,
+                "num_tests": len(self.pattern_phase.tests),
+                "coverage": _coverage_dict(self.pattern_phase.coverage),
+                "runtime_s": self.pattern_phase.runtime,
+            }
+        if self.atpg_phase is not None:
+            a = self.atpg_phase
+            payload["atpg_phase"] = {
+                "attempted": a.attempted,
+                "skipped": len(a.skipped),
+                "testable": len(a.testable),
+                "untestable": len(a.untestable),
+                "aborted": len(a.aborted),
+                "backtracks": a.backtracks,
+                "num_tests": len(a.tests),
+                "coverage": _coverage_dict(a.coverage),
+                "runtime_s": a.runtime,
+                "generation_runtime_s": a.generation_runtime,
+            }
+        if self.compaction is not None:
+            payload["compaction"] = {
+                "selected_indices": list(self.compaction.selected_indices),
+                "size": self.compaction.size,
+                "covered_faults": len(self.compaction.covered_faults),
+                "uncovered_faults": len(self.compaction.uncovered_faults),
+                "tests": _jsonable(self.compacted_tests),
+            }
+        return payload
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+
+def _coverage_dict(report: CoverageReport) -> dict[str, Any]:
+    return {
+        "total_faults": report.total_faults,
+        "detected": report.detected,
+        "untestable": report.untestable,
+        "aborted": report.aborted,
+        "num_tests": report.num_tests,
+        "coverage": report.coverage,
+        "test_efficiency": report.test_efficiency,
+    }
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert enums/tuples so ``json.dumps`` accepts the value."""
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class Campaign:
+    """Executable form of a :class:`CampaignSpec` for any registered model."""
+
+    def __init__(self, spec: CampaignSpec):
+        spec.validate()
+        self.spec = spec
+        try:
+            self.model: FaultModel = get_model(spec.model)
+        except KeyError as exc:
+            raise CampaignError(exc.args[0]) from None
+
+    # ------------------------------------------------------------------ #
+    # Pattern sources.
+    # ------------------------------------------------------------------ #
+    def patterns_for(self, circuit: LogicCircuit) -> list:
+        """The pattern-phase test list dictated by the spec and model kind."""
+        spec = self.spec
+        pairs = self.model.pattern_kind == TWO_PATTERN
+        if spec.pattern_source == "random":
+            if pairs:
+                return random_pairs(circuit, spec.pattern_count, seed=spec.seed)
+            return random_patterns(circuit, spec.pattern_count, seed=spec.seed)
+        if spec.pattern_source == "exhaustive":
+            return exhaustive_pairs(circuit) if pairs else exhaustive_patterns(circuit)
+        if spec.pattern_source == "sic":
+            if not pairs:
+                raise CampaignError(
+                    f"single-input-change patterns need a two-pattern model, "
+                    f"not {self.model.name!r}"
+                )
+            return single_input_change_pairs(circuit)
+        return []
+
+    # ------------------------------------------------------------------ #
+    # Pipeline.
+    # ------------------------------------------------------------------ #
+    def run(self, circuit: LogicCircuit) -> CampaignResult:
+        """Execute the full pipeline on *circuit*."""
+        spec, model = self.spec, self.model
+        start = time.perf_counter()
+
+        universe = model.build_universe(circuit, **spec.universe_options)
+        faults = model.collapse(circuit, universe) if spec.collapse else universe
+        detected: set[str] = set()
+
+        pattern_phase: PatternPhaseResult | None = None
+        if spec.pattern_source != "none":
+            t0 = time.perf_counter()
+            tests = self.patterns_for(circuit)
+            report = model.simulate(
+                circuit, tests, faults, drop_detected=spec.drop_detected, engine=spec.engine
+            )
+            pattern_phase = PatternPhaseResult(
+                source=spec.pattern_source,
+                tests=list(tests),
+                report=report,
+                coverage=coverage_from_report(model.name, report),
+                runtime=time.perf_counter() - t0,
+            )
+            detected.update(report.detected_faults)
+
+        atpg_phase: AtpgPhaseResult | None = None
+        if spec.run_atpg:
+            t0 = time.perf_counter()
+            skipped: list[str] = []
+            outcomes: list[AtpgOutcome] = []
+            for fault in faults:
+                if fault.key in detected:
+                    skipped.append(fault.key)
+                    continue
+                outcomes.append(model.generate_test(circuit, fault, options=spec.podem_options))
+            generation_runtime = time.perf_counter() - t0
+            atpg_tests = [test for outcome in outcomes for test in outcome.tests]
+            # With dropping on, faults the pattern phase already detected are
+            # excluded here too, so each dropped fault keeps exactly one
+            # detection index across the whole campaign; without dropping the
+            # full universe is simulated so compaction sees every alternative.
+            if spec.drop_detected:
+                sim_faults = faults.filtered(lambda f: f.key not in detected)
+            else:
+                sim_faults = faults
+            report = model.simulate(
+                circuit, atpg_tests, sim_faults, drop_detected=spec.drop_detected, engine=spec.engine
+            )
+            untestable = sum(1 for o in outcomes if o.untestable)
+            aborted = sum(1 for o in outcomes if not o.success and o.aborted)
+            atpg_phase = AtpgPhaseResult(
+                outcomes=outcomes,
+                skipped=tuple(skipped),
+                tests=atpg_tests,
+                report=report,
+                coverage=CoverageReport(
+                    model=model.name,
+                    total_faults=len(faults),
+                    detected=len(report.detected_faults),
+                    untestable=untestable,
+                    aborted=aborted,
+                    num_tests=len(atpg_tests),
+                ),
+                runtime=time.perf_counter() - t0,
+                generation_runtime=generation_runtime,
+            )
+            detected.update(report.detected_faults)
+
+        merged_report = _merge_reports(
+            faults, [p.report for p in (pattern_phase, atpg_phase) if p is not None]
+        )
+        merged_tests = (pattern_phase.tests if pattern_phase else []) + (
+            atpg_phase.tests if atpg_phase else []
+        )
+
+        compaction = compacted_tests = None
+        if spec.compact:
+            compaction = greedy_compaction(merged_report)
+            compacted_tests = [merged_tests[i] for i in compaction.selected_indices]
+
+        return CampaignResult(
+            spec=spec,
+            model_name=model.name,
+            circuit_name=circuit.name,
+            faults=faults,
+            uncollapsed_faults=len(universe),
+            pattern_phase=pattern_phase,
+            atpg_phase=atpg_phase,
+            tests=merged_tests,
+            merged_report=merged_report,
+            compaction=compaction,
+            compacted_tests=compacted_tests,
+            runtime=time.perf_counter() - start,
+        )
+
+
+def _merge_reports(faults: FaultList, reports: list[DetectionReport]) -> DetectionReport:
+    """Concatenate per-phase reports into one index space (pattern tests first)."""
+    detections: dict[str, list[int]] = {key: [] for key in faults.keys()}
+    offset = 0
+    for report in reports:
+        for key, indices in report.detections.items():
+            detections[key].extend(offset + index for index in indices)
+        offset += report.num_tests
+    return DetectionReport(detections=detections, num_tests=offset)
+
+
+def run_campaign(
+    circuit: LogicCircuit,
+    spec: CampaignSpec | None = None,
+    **spec_kwargs: Any,
+) -> CampaignResult:
+    """One-call convenience: build a spec (or take one) and run it."""
+    if spec is not None and spec_kwargs:
+        raise CampaignError("pass either a CampaignSpec or keyword fields, not both")
+    return Campaign(spec or CampaignSpec(**spec_kwargs)).run(circuit)

@@ -7,23 +7,22 @@ The paper reports, for its 14-NAND / 11-inverter sum circuit:
 * 18 of the 72 possible input transitions sufficient to detect all testable
   faults.
 
-The reproduction runs the OBD fault universe, the OBD ATPG, exhaustive
-two-pattern fault simulation and greedy compaction on the reconstructed
-circuit and reports the same quantities (the reconstruction carries less
-redundancy than the original netlist, so the absolute testable count is
-higher; the shape -- a subset untestable, a small compacted test set -- is
-what is compared).
+The reproduction runs one declarative :class:`~repro.campaign.Campaign` on
+the reconstructed circuit: exhaustive two-pattern fault simulation as the
+pattern phase, an OBD ATPG top-up that only attempts the faults the
+exhaustive phase left undetected (cross-phase fault dropping -- those
+attempts prove the redundancy-induced untestability), and greedy compaction
+of the detecting transitions.  The reconstruction carries less redundancy
+than the original netlist, so the absolute testable count is higher; the
+shape -- a subset untestable, a small compacted test set -- is what is
+compared.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..atpg.compaction import greedy_compaction
-from ..atpg.fault_sim import simulate_obd
-from ..atpg.obd_atpg import ObdAtpgSummary, run_obd_atpg
-from ..atpg.random_tpg import exhaustive_pairs
-from ..faults.obd import obd_fault_universe
+from ..campaign import Campaign, CampaignResult, CampaignSpec
 from ..logic.circuits import full_adder_sum
 from ..logic.gates import GateType
 from ..logic.netlist import LogicCircuit
@@ -42,19 +41,38 @@ class AdderStatsResult:
 
     circuit_summary: str
     nand_gates: int
-    total_sites: int
-    atpg: ObdAtpgSummary
-    exhaustive_detected: int
-    compacted_test_count: int
-    total_transitions: int
+    campaign: CampaignResult
+
+    @property
+    def total_sites(self) -> int:
+        return len(self.campaign.faults)
 
     @property
     def testable(self) -> int:
-        return len(self.atpg.testable)
+        """Faults detected by the exhaustive transitions or an ATPG test."""
+        return len(self.campaign.detected_faults)
 
     @property
     def untestable(self) -> int:
-        return len(self.atpg.untestable)
+        """Faults the ATPG top-up proved untestable (circuit redundancy)."""
+        return len(self.campaign.atpg_phase.untestable)
+
+    @property
+    def atpg_skipped(self) -> int:
+        """Faults never handed to PODEM: the pattern phase already detected them."""
+        return len(self.campaign.atpg_phase.skipped)
+
+    @property
+    def exhaustive_detected(self) -> int:
+        return self.campaign.pattern_phase.coverage.detected
+
+    @property
+    def compacted_test_count(self) -> int:
+        return self.campaign.compaction.size
+
+    @property
+    def total_transitions(self) -> int:
+        return len(self.campaign.pattern_phase.tests)
 
     def rows(self) -> list[str]:
         return [
@@ -66,25 +84,24 @@ class AdderStatsResult:
             f"untestable (redundancy):    measured {self.untestable:>4}   paper {PAPER_SITES - PAPER_TESTABLE}",
             f"input transitions examined: measured {self.total_transitions:>4}   paper {PAPER_TRANSITIONS}",
             f"compacted detecting subset: measured {self.compacted_test_count:>4}   paper {PAPER_COMPACT_TESTS}",
+            f"ATPG attempts after fault dropping: {self.campaign.atpg_phase.attempted} "
+            f"({self.atpg_skipped} skipped as already detected)",
         ]
 
 
 def run_adder_stats(circuit: LogicCircuit | None = None) -> AdderStatsResult:
     """Compute the Section-4.3 statistics on the (reconstructed) sum circuit."""
     logic = circuit or full_adder_sum()
-    faults = obd_fault_universe(logic, gate_types=[GateType.NAND2])
-    atpg = run_obd_atpg(logic, faults)
-
-    pairs = exhaustive_pairs(logic)
-    report = simulate_obd(logic, pairs, faults)
-    compaction = greedy_compaction(report)
-
+    spec = CampaignSpec(
+        model="obd",
+        universe_options={"gate_types": [GateType.NAND2]},
+        pattern_source="exhaustive",
+        run_atpg=True,
+        compact=True,
+        drop_detected=False,
+    )
     return AdderStatsResult(
         circuit_summary=logic.summary(),
         nand_gates=logic.gate_count(GateType.NAND2),
-        total_sites=len(faults),
-        atpg=atpg,
-        exhaustive_detected=len(report.detected_faults),
-        compacted_test_count=compaction.size,
-        total_transitions=len(pairs),
+        campaign=Campaign(spec).run(logic),
     )

@@ -1,0 +1,278 @@
+"""Tests for the unified campaign API: registry, pipeline, parity, reporting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.atpg import greedy_compaction, run_obd_atpg, simulate_obd
+from repro.campaign import (
+    Campaign,
+    CampaignError,
+    CampaignSpec,
+    SINGLE_PATTERN,
+    TWO_PATTERN,
+    get_model,
+    register_model,
+    registered_models,
+    run_campaign,
+)
+from repro.faults import obd_fault_universe, stuck_at_universe
+from repro.logic import GateType, full_adder_sum
+
+
+class TestRegistry:
+    def test_four_models_registered(self):
+        assert registered_models() == ("obd", "path-delay", "stuck-at", "transition")
+
+    def test_get_model_shapes(self):
+        assert get_model("stuck-at").pattern_kind == SINGLE_PATTERN
+        for name in ("transition", "path-delay", "obd"):
+            assert get_model(name).pattern_kind == TWO_PATTERN
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError, match="unknown fault model"):
+            get_model("bridging")
+
+    def test_duplicate_registration_rejected(self):
+        model = get_model("obd")
+        with pytest.raises(ValueError, match="already registered"):
+            register_model(model)
+        # replace=True keeps the registry unchanged but does not raise.
+        assert register_model(model, replace=True) is model
+
+    def test_models_expose_universe_and_atpg(self, fa_sum):
+        for name in registered_models():
+            model = get_model(name)
+            universe = model.build_universe(fa_sum)
+            assert len(universe) > 0
+            outcome = model.generate_test(fa_sum, next(iter(universe)))
+            assert outcome.success == bool(outcome.tests)
+
+
+class TestSpecValidation:
+    def test_bad_pattern_source(self):
+        with pytest.raises(CampaignError):
+            Campaign(CampaignSpec(pattern_source="walking-ones"))
+
+    def test_no_phase_at_all(self):
+        with pytest.raises(CampaignError):
+            Campaign(CampaignSpec(pattern_source="none", run_atpg=False))
+
+    def test_bad_engine_fails_fast(self):
+        """A typoed engine is rejected at spec time, not after the ATPG run."""
+        with pytest.raises(ValueError, match="unknown fault-simulation engine"):
+            Campaign(CampaignSpec(engine="quantum"))
+
+    def test_unknown_model_is_a_spec_error(self):
+        with pytest.raises(CampaignError, match="unknown fault model"):
+            Campaign(CampaignSpec(model="bridging"))
+
+    def test_sic_needs_two_pattern_model(self, fa_sum):
+        campaign = Campaign(CampaignSpec(model="stuck-at", pattern_source="sic"))
+        with pytest.raises(CampaignError, match="two-pattern"):
+            campaign.run(fa_sum)
+
+    def test_spec_and_kwargs_exclusive(self, fa_sum):
+        with pytest.raises(CampaignError):
+            run_campaign(fa_sum, CampaignSpec(), model="obd")
+
+
+class TestSection43Parity:
+    """One campaign reproduces the hand-wired examples/full_adder_atpg.py flow."""
+
+    @pytest.fixture(scope="class")
+    def obd_campaign(self, fa_sum):
+        spec = CampaignSpec(
+            model="obd",
+            universe_options={"gate_types": [GateType.NAND2]},
+            pattern_source="none",
+            drop_detected=False,
+        )
+        return Campaign(spec).run(fa_sum)
+
+    @pytest.fixture(scope="class")
+    def hand_wired(self, fa_sum):
+        faults = obd_fault_universe(fa_sum, gate_types=[GateType.NAND2])
+        summary = run_obd_atpg(fa_sum, faults)
+        pairs = [(t.first, t.second) for t in summary.tests]
+        report = simulate_obd(fa_sum, pairs, faults)
+        return summary, pairs, report, greedy_compaction(report)
+
+    def test_same_tests(self, obd_campaign, hand_wired):
+        _, pairs, _, _ = hand_wired
+        assert obd_campaign.tests == pairs
+
+    def test_same_detected_fault_sets(self, obd_campaign, hand_wired):
+        _, _, report, _ = hand_wired
+        assert set(obd_campaign.detected_faults) == set(report.detected_faults)
+        assert obd_campaign.detections == report.detections
+
+    def test_same_compaction(self, obd_campaign, hand_wired):
+        _, _, _, compaction = hand_wired
+        assert obd_campaign.compaction.selected_indices == compaction.selected_indices
+        assert obd_campaign.compaction.size == compaction.size
+
+    def test_same_untestable_accounting(self, obd_campaign, hand_wired):
+        summary, _, _, _ = hand_wired
+        untested = {o.fault.key for o in obd_campaign.atpg_phase.untestable}
+        assert untested == {r.fault.key for r in summary.untestable}
+
+    def test_all_four_models_complete_the_pipeline(self, fa_sum):
+        """ATPG-only campaigns agree with exhaustive fault simulation for
+        every registered model on the Figure-8 full adder."""
+        for name in registered_models():
+            model = get_model(name)
+            atpg_only = run_campaign(
+                fa_sum, model=name, pattern_source="none", drop_detected=False
+            )
+            exhaustive = run_campaign(
+                fa_sum, model=name, pattern_source="exhaustive", run_atpg=False
+            )
+            assert atpg_only.coverage.aborted == 0, name
+            assert set(atpg_only.detected_faults) == set(exhaustive.detected_faults), name
+            # Everything is either detected or proven untestable.
+            efficiency = atpg_only.coverage.test_efficiency
+            assert efficiency == pytest.approx(1.0), (name, efficiency)
+            assert model.name == name
+
+
+class TestPipelinePhases:
+    def test_drop_detected_keeps_one_index_per_fault(self, fa_sum):
+        """With dropping on, a fault detected in the pattern phase is not
+        re-simulated by the ATPG phase: at most one index survives."""
+        result = run_campaign(
+            fa_sum,
+            model="obd",
+            universe_options={"gate_types": [GateType.NAND2]},
+            pattern_source="random",
+            pattern_count=3,
+            seed=0,
+            drop_detected=True,
+        )
+        for key, indices in result.detections.items():
+            assert len(indices) <= 1, (key, indices)
+
+    def test_pattern_phase_then_atpg_skips_detected(self, fa_sum):
+        result = run_campaign(
+            fa_sum,
+            model="obd",
+            universe_options={"gate_types": [GateType.NAND2]},
+            pattern_source="sic",
+        )
+        atpg = result.atpg_phase
+        assert atpg is not None
+        detected_by_patterns = set(result.pattern_phase.report.detected_faults)
+        assert set(atpg.skipped) == detected_by_patterns
+        assert atpg.attempted == len(result.faults) - len(atpg.skipped)
+        attempted_keys = {o.fault.key for o in atpg.outcomes}
+        assert not attempted_keys & detected_by_patterns
+
+    def test_merged_indices_offset_by_pattern_phase(self, fa_sum):
+        result = run_campaign(fa_sum, model="stuck-at", pattern_source="random",
+                              pattern_count=4, seed=9, drop_detected=False)
+        num_patterns = len(result.pattern_phase.tests)
+        assert result.merged_report.num_tests == num_patterns + len(result.atpg_phase.tests)
+        for key, indices in result.atpg_phase.report.detections.items():
+            merged = result.detections[key]
+            pattern_part = result.pattern_phase.report.detections[key]
+            assert merged == pattern_part + [num_patterns + i for i in indices]
+
+    def test_compacted_tests_detect_everything(self, fa_sum):
+        result = run_campaign(fa_sum, model="transition", pattern_source="sic",
+                              drop_detected=False)
+        model = get_model("transition")
+        report = model.simulate(fa_sum, result.compacted_tests, result.faults)
+        assert set(report.detected_faults) == set(result.detected_faults)
+
+    def test_collapse_stuck_at(self, fa_sum):
+        full = run_campaign(fa_sum, model="stuck-at", pattern_source="exhaustive",
+                            run_atpg=False, collapse=False)
+        collapsed = run_campaign(fa_sum, model="stuck-at", pattern_source="exhaustive",
+                                 run_atpg=False, collapse=True)
+        assert len(collapsed.faults) < len(full.faults)
+        assert collapsed.uncollapsed_faults == len(full.faults)
+        assert set(f.key for f in collapsed.faults) <= set(f.key for f in full.faults)
+
+    def test_collapse_obd_equivalence_groups(self, fa_sum):
+        spec = CampaignSpec(
+            model="obd",
+            universe_options={"gate_types": [GateType.NAND2]},
+            collapse=True,
+            pattern_source="exhaustive",
+            run_atpg=False,
+        )
+        result = Campaign(spec).run(fa_sum)
+        # 14 NANDs x 3 equivalence groups ({NA,NB}, {PA}, {PB}).
+        assert len(result.faults) == 14 * 3
+        assert result.uncollapsed_faults == 56
+
+    def test_random_pattern_phase_respects_kind(self, fa_sum):
+        single = Campaign(CampaignSpec(model="stuck-at", pattern_source="random",
+                                       pattern_count=5)).patterns_for(fa_sum)
+        pairs = Campaign(CampaignSpec(model="obd", pattern_source="random",
+                                      pattern_count=5)).patterns_for(fa_sum)
+        assert all(isinstance(bit, int) for pattern in single for bit in pattern)
+        assert all(len(pair) == 2 and pair[0] != pair[1] for pair in pairs)
+
+    def test_serial_engine_matches_packed(self, fa_sum):
+        for engine in ("packed", "serial"):
+            result = run_campaign(fa_sum, model="obd", pattern_source="sic",
+                                  run_atpg=False, engine=engine, compact=False)
+            if engine == "packed":
+                packed_detections = result.detections
+            else:
+                assert result.detections == packed_detections
+
+
+class TestReporting:
+    @pytest.fixture(scope="class")
+    def result(self, fa_sum):
+        return run_campaign(
+            fa_sum,
+            model="obd",
+            universe_options={"gate_types": [GateType.NAND2]},
+            pattern_source="sic",
+            drop_detected=False,
+        )
+
+    def test_describe_mentions_phases(self, result):
+        text = result.describe()
+        assert "campaign[obd]" in text
+        assert "patterns[sic]" in text
+        assert "atpg:" in text
+        assert "compaction:" in text
+
+    def test_to_json_roundtrip(self, result):
+        payload = json.loads(result.to_json())
+        assert payload["model"] == "obd"
+        assert payload["spec"]["universe_options"] == {"gate_types": ["NAND2"]}
+        assert payload["faults"] == 56
+        assert payload["pattern_phase"]["num_tests"] == len(result.pattern_phase.tests)
+        assert payload["atpg_phase"]["skipped"] == len(result.atpg_phase.skipped)
+        assert payload["compaction"]["size"] == result.compaction.size
+        assert len(payload["compaction"]["tests"]) == result.compaction.size
+        assert set(payload["detections"]) == set(result.detections)
+
+    def test_overall_coverage_counts(self, result):
+        coverage = result.coverage
+        assert coverage.total_faults == 56
+        assert coverage.detected == len(result.detected_faults)
+        assert coverage.detected + coverage.undetected == coverage.total_faults
+        assert coverage.num_tests == result.merged_report.num_tests
+
+    def test_wrappers_still_delegate(self, fa_sum):
+        """The legacy silo entry points agree with the registry they wrap."""
+        faults = obd_fault_universe(fa_sum, gate_types=[GateType.NAND2])
+        pairs = Campaign(CampaignSpec(model="obd", pattern_source="sic")).patterns_for(fa_sum)
+        legacy = simulate_obd(fa_sum, pairs, faults)
+        registry = get_model("obd").simulate(fa_sum, pairs, faults)
+        assert legacy.detections == registry.detections
+
+    def test_stuck_at_wrapper_engine_validation(self, fa_sum):
+        from repro.atpg import simulate_stuck_at
+
+        faults = list(stuck_at_universe(fa_sum))
+        with pytest.raises(ValueError, match="unknown fault-simulation engine"):
+            simulate_stuck_at(fa_sum, [(0, 0, 0)], faults, engine="quantum")

@@ -5,20 +5,25 @@ from __future__ import annotations
 import pytest
 
 from repro.atpg import (
+    CoverageReport,
+    DetectionReport,
     PodemOptions,
     coverage_from_report,
     exhaustive_pairs,
     exhaustive_patterns,
     generate_obd_test,
+    generate_path_delay_test,
     generate_stuck_at_test,
     generate_transition_test,
     greedy_compaction,
     justify,
     obd_fault_detected,
+    path_delay_fault_detected,
     random_pairs,
     random_patterns,
     run_obd_atpg,
     simulate_obd,
+    simulate_path_delay,
     simulate_stuck_at,
     simulate_transition,
     simulate_with_forced_net,
@@ -216,6 +221,72 @@ class TestTwoPatternAndObdAtpg:
         summary = run_obd_atpg(fa_sum, faults)
         assert "4 faults" in summary.describe()
 
+    def test_obd_atpg_skips_already_detected(self, fa_sum):
+        """Cross-phase fault dropping: detected faults never reach PODEM."""
+        faults = obd_fault_universe(fa_sum, gate_types=[GateType.NAND2])
+        report = simulate_obd(fa_sum, single_input_change_pairs(fa_sum), faults)
+        summary = run_obd_atpg(fa_sum, faults, already_detected=report.detected_faults)
+        assert {f.key for f in summary.skipped} == set(report.detected_faults)
+        assert summary.total == len(faults) - len(summary.skipped)
+        attempted = {r.fault.key for r in summary.results}
+        assert not attempted & set(report.detected_faults)
+        assert f"{len(summary.skipped)} skipped" in summary.describe()
+
+    def test_obd_atpg_no_skip_by_default(self, fa_sum):
+        faults = list(obd_fault_universe(fa_sum, gate_types=[GateType.NAND2]))[:4]
+        summary = run_obd_atpg(fa_sum, faults)
+        assert summary.skipped == []
+        assert summary.total == 4
+
+
+class TestPathDelay:
+    """The path-delay model's simulate + ATPG path (satellite of ISSUE 2)."""
+
+    def test_simulate_engines_agree(self, fa_sum):
+        faults = list(path_delay_universe(fa_sum))
+        pairs = exhaustive_pairs(fa_sum)
+        packed = simulate_path_delay(fa_sum, pairs, faults, engine="packed")
+        serial = simulate_path_delay(fa_sum, pairs, faults, engine="serial")
+        assert packed.detections == serial.detections
+        assert packed.num_tests == serial.num_tests == len(pairs)
+
+    def test_detection_matches_is_sensitized(self, fa_sum):
+        faults = list(path_delay_universe(fa_sum))
+        pairs = exhaustive_pairs(fa_sum)[:20]
+        report = simulate_path_delay(fa_sum, pairs, faults)
+        for fault in faults:
+            for index, pair in enumerate(pairs):
+                expected = is_sensitized(fa_sum, fault, pair[0], pair[1])
+                assert (index in report.detections[fault.key]) == expected
+                assert path_delay_fault_detected(fa_sum, fault, pair) == expected
+
+    def test_atpg_generates_sensitizing_pairs(self, fa_sum):
+        """Full-adder circuit: every generated test sensitizes its path."""
+        for fault in path_delay_universe(fa_sum):
+            result = generate_path_delay_test(fa_sum, fault)
+            assert result.success, fault.key
+            assert is_sensitized(fa_sum, fault, result.test.first, result.test.second)
+
+    def test_atpg_matches_exhaustive_simulation(self, fa_full):
+        """ATPG testability agrees with exhaustive two-pattern simulation on
+        the complete full adder (whose XOR trees make some paths untestable)."""
+        faults = list(path_delay_universe(fa_full))
+        report = simulate_path_delay(fa_full, exhaustive_pairs(fa_full), faults)
+        for fault in faults:
+            result = generate_path_delay_test(fa_full, fault)
+            assert not result.aborted, fault.key
+            assert result.success == bool(report.detections[fault.key]), fault.key
+
+    def test_drop_detected_first_index_parity(self, fa_sum):
+        faults = list(path_delay_universe(fa_sum))
+        pairs = exhaustive_pairs(fa_sum)
+        full = simulate_path_delay(fa_sum, pairs, faults)
+        for engine in ("packed", "serial"):
+            dropped = simulate_path_delay(fa_sum, pairs, faults,
+                                          drop_detected=True, engine=engine)
+            for key, detecting in full.detections.items():
+                assert dropped.detections[key] == detecting[:1], (key, engine)
+
 
 class TestFaultSimulation:
     def test_forced_net_simulation(self, c17_circuit):
@@ -255,6 +326,44 @@ class TestFaultSimulation:
         compaction = greedy_compaction(report)
         assert set(compaction.covered_faults) == set(report.detected_faults)
         assert compaction.size <= report.num_tests
+
+    def test_compaction_tie_break_is_lowest_index(self):
+        """Regression: ties on gain pick the lowest test index, independent of
+        the order faults (and hence candidate tests) appear in the report."""
+        detections = {"f1": [5, 2], "f2": [2], "f3": [5], "f4": [7]}
+        result = greedy_compaction(DetectionReport(detections=detections, num_tests=8))
+        # Tests 2 and 5 both cover two faults; 2 wins the tie, then 5 and 7.
+        assert result.selected_indices == (2, 5, 7)
+
+        shuffled = {"f4": [7], "f3": [5], "f1": [2, 5], "f2": [2]}
+        permuted = greedy_compaction(DetectionReport(detections=shuffled, num_tests=8))
+        assert permuted.selected_indices == result.selected_indices
+
+    def test_compaction_reports_never_detected_faults(self):
+        report = DetectionReport(detections={"a": [0], "b": []}, num_tests=1)
+        result = greedy_compaction(report)
+        assert result.selected_indices == (0,)
+        assert result.covered_faults == ("a",)
+        assert result.uncovered_faults == ("b",)
+
+    def test_coverage_report_zero_fault_universe(self):
+        cov = coverage_from_report("sa", DetectionReport(detections={}, num_tests=5))
+        assert cov.total_faults == 0
+        assert cov.coverage == 1.0
+        assert cov.test_efficiency == 1.0
+        assert cov.undetected == 0
+        assert "0/0" in cov.describe() or "0" in cov.describe()
+
+    def test_coverage_report_untestable_and_aborted_accounting(self):
+        cov = CoverageReport(
+            model="obd", total_faults=10, detected=6, untestable=3, aborted=1, num_tests=4
+        )
+        assert cov.undetected == 4
+        assert cov.coverage == pytest.approx(0.6)
+        # Proven-untestable faults count toward efficiency; aborted ones do not.
+        assert cov.test_efficiency == pytest.approx(0.9)
+        text = cov.describe()
+        assert "3 untestable" in text and "1 aborted" in text
 
     def test_coverage_report_arithmetic(self, c17_circuit):
         faults = list(stuck_at_universe(c17_circuit))
