@@ -12,7 +12,11 @@ report all happen behind one call::
 The legacy per-model functions (``simulate_obd``, ``run_obd_atpg``, ...)
 still exist as thin wrappers over the same registry.
 
-Part 2 then drops below the gate level and walks the paper's core
+Part 2 shows the benchmark-circuit subsystem: parametric generator
+families, ISCAS-85 ``.bench`` netlist round-trips, and campaigns that name
+their workload through the circuit registry instead of building it.
+
+Part 3 then drops below the gate level and walks the paper's core
 experiment: inject the diode-resistor breakdown model into one transistor of
 a real NAND gate and watch the *input-specific* delay appear -- the physical
 behaviour the OBD fault model in part 1 abstracts.
@@ -22,10 +26,20 @@ Run with ``python examples/quickstart.py``.
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 from repro.campaign import CampaignSpec, registered_models, run_campaign
 from repro.cells import build_nand_harness, characterize_harness, default_technology
 from repro.core import BreakdownStage, OBDDefect, harness_preparer
-from repro.logic import GateType, full_adder_sum
+from repro.logic import (
+    GateType,
+    array_multiplier,
+    full_adder_sum,
+    load_bench,
+    save_bench,
+    write_bench,
+)
 
 
 def campaign_tour() -> None:
@@ -49,6 +63,35 @@ def campaign_tour() -> None:
     for model in ("stuck-at", "transition", "path-delay"):
         print(run_campaign(circuit, CampaignSpec(model=model, pattern_source="none")).describe())
         print()
+
+
+def benchmark_circuit_tour() -> None:
+    """Generators, .bench round-trips and registry-resolved campaigns."""
+    # A generated workload: 4x4 array multiplier, with its structural stats.
+    circuit = array_multiplier(4)
+    print(f"Generated: {circuit.stats().describe()}\n")
+
+    # Write it out as an ISCAS-85 .bench netlist and load it back.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "mult4.bench"
+        save_bench(circuit, path)
+        print(f"First lines of {path.name}:")
+        for line in write_bench(circuit).splitlines()[:6]:
+            print(f"  {line}")
+        reloaded = load_bench(path)
+        print(f"Reloaded: {reloaded.stats().describe()}\n")
+
+        # Campaigns can name their circuit: a registry reference or a .bench
+        # path in the spec replaces building the netlist by hand.
+        print(run_campaign(path, CampaignSpec(
+            model="stuck-at", pattern_source="random", pattern_count=128,
+        )).describe())
+        print()
+    print(run_campaign(spec=CampaignSpec(
+        model="transition", circuit="rdag:60,5",
+        pattern_source="random", pattern_count=128, run_atpg=False,
+    )).describe())
+    print()
 
 
 def measure(sequence, defect=None, label=""):
@@ -90,7 +133,11 @@ def main() -> None:
     print("=" * 60)
     campaign_tour()
 
-    print("Part 2: oxide-breakdown physics (Figure-5 NAND harness)")
+    print("Part 2: benchmark circuits (.bench I/O + generators)")
+    print("=" * 60)
+    benchmark_circuit_tour()
+
+    print("Part 3: oxide-breakdown physics (Figure-5 NAND harness)")
     print("=" * 60)
     transistor_level_tour()
 

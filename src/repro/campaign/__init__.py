@@ -13,6 +13,11 @@ this package exposes that flow as one declarative API:
   random / exhaustive / single-input-change pattern phase with fault
   dropping, deterministic ATPG top-up that skips already-detected faults,
   greedy compaction and a unified :class:`CampaignResult`.
+* :func:`resolve_circuit` / :func:`register_circuit` -- the circuit
+  registry behind ``CampaignSpec.circuit``: registered names (``"c17"``),
+  parametric references (``"rca:8"``, ``"mult:4"``, ``"rdag:40,7"``) and
+  ``.bench`` file paths all resolve to a
+  :class:`~repro.logic.netlist.LogicCircuit` workload.
 
 The per-model free functions in :mod:`repro.atpg` (``simulate_stuck_at``,
 ``run_obd_atpg``, ...) remain as thin compatibility wrappers over this
@@ -24,6 +29,11 @@ registry.
 >>> print(result.describe())          # doctest: +SKIP
 """
 
+from .circuits import (
+    circuit_names,
+    register_circuit,
+    resolve_circuit,
+)
 from .model import (
     SINGLE_PATTERN,
     TWO_PATTERN,
@@ -57,6 +67,9 @@ __all__ = [
     "TransitionModel",
     "PathDelayModel",
     "ObdModel",
+    "register_circuit",
+    "resolve_circuit",
+    "circuit_names",
     "PATTERN_SOURCES",
     "CampaignError",
     "CampaignSpec",

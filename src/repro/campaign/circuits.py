@@ -1,0 +1,146 @@
+"""Circuit registry: resolve campaign circuit references to netlists.
+
+A :class:`~repro.campaign.runner.CampaignSpec` (or any caller) can name its
+workload instead of constructing it:
+
+* a **registered name** -- the library circuits (``"c17"``,
+  ``"full_adder"``, ``"fa_sum"``, ``"mux2"``);
+* a **parametric reference** ``family:arg[,arg...]`` -- the scalable
+  families (``"rca:8"``, ``"mult:4"``, ``"cla:8"``, ``"parity:16"``,
+  ``"cmp:4"``, ``"alu:4"``, ``"rdag:40,7"`` for 40 gates with seed 7;
+  the arguments are the builder's leading positional parameters);
+* a ``.bench`` **file path** -- anything ending in ``.bench`` is parsed
+  with :func:`repro.logic.bench.load_bench`.
+
+:func:`resolve_circuit` is the single entry point;
+:func:`register_circuit` lets applications add their own named builders.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable
+
+from ..logic.bench import load_bench
+from ..logic.circuits import (
+    c17,
+    full_adder,
+    full_adder_sum,
+    nand_chain,
+    ripple_carry_adder,
+    two_to_one_mux,
+)
+from ..logic.generators import (
+    alu_slice,
+    array_multiplier,
+    carry_lookahead_adder,
+    magnitude_comparator,
+    parity_tree,
+    random_dag,
+)
+from ..logic.netlist import LogicCircuit
+
+CircuitBuilder = Callable[..., LogicCircuit]
+
+#: Fixed circuits resolvable by bare name.
+_NAMED: dict[str, CircuitBuilder] = {}
+
+#: Parametric families resolvable as ``family:arg[,arg...]``; values are
+#: (builder, minimum argument count, maximum argument count).
+_PARAMETRIC: dict[str, tuple[CircuitBuilder, int, int]] = {}
+
+
+def register_circuit(
+    name: str,
+    builder: CircuitBuilder,
+    *,
+    min_args: int | None = None,
+    max_args: int | None = None,
+) -> None:
+    """Register a circuit builder under *name*.
+
+    Without argument bounds the builder is a fixed circuit taken with no
+    arguments; with them it becomes a parametric family accepting
+    ``name:arg[,arg...]`` references with that many integer arguments.
+    """
+    if min_args is None and max_args is None:
+        _NAMED[name] = builder
+    else:
+        _PARAMETRIC[name] = (builder, min_args or 0, max_args or min_args or 0)
+
+
+def circuit_names() -> list[str]:
+    """All resolvable names: fixed first, then parametric families."""
+    return sorted(_NAMED) + sorted(_PARAMETRIC)
+
+
+def resolve_circuit(ref: str | os.PathLike | LogicCircuit) -> LogicCircuit:
+    """Resolve a circuit reference (name, ``family:args`` or ``.bench`` path).
+
+    A :class:`LogicCircuit` passes through unchanged, so callers can accept
+    either form; ``.bench`` paths may be strings or path objects (e.g. the
+    return value of :func:`~repro.logic.bench.save_bench`).  Unknown
+    references raise :class:`ValueError` listing the registered names.
+    """
+    if isinstance(ref, LogicCircuit):
+        return ref
+    if isinstance(ref, os.PathLike):
+        ref = os.fspath(ref)
+    if not isinstance(ref, str):
+        raise ValueError(f"expected a circuit name or LogicCircuit, got {type(ref).__name__}")
+    if ref.endswith(".bench"):
+        path = Path(ref)
+        if not path.exists():
+            raise ValueError(f"no .bench file at {ref!r}")
+        try:
+            return load_bench(path)
+        except (OSError, UnicodeDecodeError) as exc:
+            # Directories, unreadable files, binary junk: keep the promise
+            # that a bad circuit reference surfaces as ValueError upward
+            # (and hence CampaignError out of Campaign.run).
+            raise ValueError(f"cannot read .bench file {ref!r}: {exc}") from None
+    name, _, arg_text = ref.partition(":")
+    if not arg_text:
+        if name in _NAMED:
+            return _NAMED[name]()
+        if name in _PARAMETRIC:
+            raise ValueError(
+                f"circuit family {name!r} needs arguments, e.g. {name + ':4'!r}"
+            )
+    else:
+        if name not in _PARAMETRIC:
+            raise ValueError(f"unknown parametric circuit family {name!r}")
+        builder, min_args, max_args = _PARAMETRIC[name]
+        try:
+            args = [int(a) for a in arg_text.split(",")]
+        except ValueError:
+            raise ValueError(
+                f"arguments of circuit reference {ref!r} must be integers"
+            ) from None
+        if not min_args <= len(args) <= max_args:
+            raise ValueError(
+                f"circuit family {name!r} takes between {min_args} and {max_args} "
+                f"argument(s), got {len(args)}"
+            )
+        return builder(*args)
+    raise ValueError(
+        f"unknown circuit reference {ref!r}; registered: {', '.join(circuit_names())} "
+        f"(or a path ending in .bench)"
+    )
+
+
+register_circuit("c17", c17)
+register_circuit("full_adder", full_adder)
+register_circuit("fa_sum", full_adder_sum)
+register_circuit("full_adder_sum", full_adder_sum)
+register_circuit("mux2", two_to_one_mux)
+register_circuit("rca", ripple_carry_adder, min_args=1, max_args=1)
+register_circuit("nand_chain", nand_chain, min_args=1, max_args=1)
+register_circuit("parity", parity_tree, min_args=1, max_args=1)
+register_circuit("cla", carry_lookahead_adder, min_args=1, max_args=1)
+register_circuit("mult", array_multiplier, min_args=1, max_args=1)
+register_circuit("cmp", magnitude_comparator, min_args=1, max_args=1)
+register_circuit("alu", alu_slice, min_args=1, max_args=1)
+# Positional args match random_dag itself: gates[, seed[, num_inputs]].
+register_circuit("rdag", random_dag, min_args=1, max_args=3)

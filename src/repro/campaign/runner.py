@@ -30,7 +30,8 @@ from ..atpg.random_tpg import (
     single_input_change_pairs,
 )
 from ..faults.base import FaultList
-from ..logic.netlist import LogicCircuit
+from ..logic.netlist import CircuitStats, LogicCircuit, LogicCircuitError
+from .circuits import resolve_circuit
 from .model import TWO_PATTERN, AtpgOutcome, FaultModel, get_model
 
 #: Accepted ``CampaignSpec.pattern_source`` values.
@@ -56,9 +57,16 @@ class CampaignSpec:
     leaves the compactor only one candidate test per fault, so the greedy
     cover can come out larger than the true minimum.  The default keeps full
     detection lists so compaction quality is exact.
+
+    ``circuit`` optionally names the workload instead of passing a
+    :class:`LogicCircuit` to :meth:`Campaign.run`: a registered circuit
+    name, a parametric reference (``"rca:8"``, ``"mult:4"``,
+    ``"rdag:40,7"``) or a ``.bench`` file path -- see
+    :func:`repro.campaign.circuits.resolve_circuit`.
     """
 
     model: str = "stuck-at"
+    circuit: Optional[str] = None
     universe_options: dict = field(default_factory=dict)
     collapse: bool = False
     pattern_source: str = "none"
@@ -145,6 +153,7 @@ class CampaignResult:
     spec: CampaignSpec
     model_name: str
     circuit_name: str
+    circuit_stats: CircuitStats
     faults: FaultList
     uncollapsed_faults: int
     pattern_phase: Optional[PatternPhaseResult]
@@ -198,6 +207,7 @@ class CampaignResult:
     def describe(self) -> str:
         overall = self.coverage
         lines = [
+            f"circuit: {self.circuit_stats.describe()}",
             f"campaign[{self.model_name}] on {self.circuit_name or 'circuit'}: "
             f"{len(self.faults)} faults"
             + (
@@ -238,6 +248,7 @@ class CampaignResult:
             "spec": _jsonable(
                 {
                     "model": spec.model,
+                    "circuit": spec.circuit,
                     "universe_options": spec.universe_options,
                     "collapse": spec.collapse,
                     "pattern_source": spec.pattern_source,
@@ -249,6 +260,18 @@ class CampaignResult:
                     "engine": spec.engine,
                 }
             ),
+            "circuit_stats": {
+                "inputs": self.circuit_stats.num_inputs,
+                "outputs": self.circuit_stats.num_outputs,
+                "gates": self.circuit_stats.num_gates,
+                "nets": self.circuit_stats.num_nets,
+                "depth": self.circuit_stats.depth,
+                "gate_counts": dict(self.circuit_stats.gate_counts),
+                "fanout_histogram": {
+                    str(k): v for k, v in sorted(self.circuit_stats.fanout_histogram.items())
+                },
+                "max_fanout": self.circuit_stats.max_fanout,
+            },
             "faults": len(self.faults),
             "uncollapsed_faults": self.uncollapsed_faults,
             "coverage": _coverage_dict(self.coverage),
@@ -349,9 +372,27 @@ class Campaign:
     # ------------------------------------------------------------------ #
     # Pipeline.
     # ------------------------------------------------------------------ #
-    def run(self, circuit: LogicCircuit) -> CampaignResult:
-        """Execute the full pipeline on *circuit*."""
+    def run(self, circuit: LogicCircuit | str | None = None) -> CampaignResult:
+        """Execute the full pipeline on *circuit*.
+
+        *circuit* may be a :class:`LogicCircuit`, a circuit reference
+        string (registered name, parametric ``family:args`` or ``.bench``
+        path), or None to use the spec's ``circuit`` field.
+        """
         spec, model = self.spec, self.model
+        if circuit is None:
+            if spec.circuit is None:
+                raise CampaignError(
+                    "no circuit: pass one to run() or set CampaignSpec.circuit"
+                )
+            circuit = spec.circuit
+        try:
+            circuit = resolve_circuit(circuit)
+        except (ValueError, LogicCircuitError) as exc:
+            # Builders raise LogicCircuitError (degenerate generator sizes,
+            # malformed .bench files); normalize everything a bad circuit
+            # reference can produce to the campaign's own error type.
+            raise CampaignError(str(exc)) from None
         start = time.perf_counter()
 
         universe = model.build_universe(circuit, **spec.universe_options)
@@ -433,6 +474,7 @@ class Campaign:
             spec=spec,
             model_name=model.name,
             circuit_name=circuit.name,
+            circuit_stats=circuit.stats(),
             faults=faults,
             uncollapsed_faults=len(universe),
             pattern_phase=pattern_phase,
@@ -457,11 +499,15 @@ def _merge_reports(faults: FaultList, reports: list[DetectionReport]) -> Detecti
 
 
 def run_campaign(
-    circuit: LogicCircuit,
+    circuit: LogicCircuit | str | None = None,
     spec: CampaignSpec | None = None,
     **spec_kwargs: Any,
 ) -> CampaignResult:
-    """One-call convenience: build a spec (or take one) and run it."""
+    """One-call convenience: build a spec (or take one) and run it.
+
+    *circuit* accepts everything :meth:`Campaign.run` does, including a
+    circuit reference string or None when the spec names the circuit.
+    """
     if spec is not None and spec_kwargs:
         raise CampaignError("pass either a CampaignSpec or keyword fields, not both")
     return Campaign(spec or CampaignSpec(**spec_kwargs)).run(circuit)

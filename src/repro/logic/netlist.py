@@ -9,6 +9,7 @@ expand into a transistor-level circuit for SPICE experiments.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -17,6 +18,37 @@ from .gates import GateType, evaluate_gate
 
 class LogicCircuitError(Exception):
     """Raised for malformed gate-level netlists."""
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Structural profile of one circuit (see :meth:`LogicCircuit.stats`)."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    num_nets: int
+    depth: int
+    #: Gate count per :class:`~repro.logic.gates.GateType` value, e.g.
+    #: ``{"NAND2": 14, "INV": 14}``; types absent from the circuit are omitted.
+    gate_counts: dict[str, int] = field(default_factory=dict)
+    #: Histogram of net fan-out: ``{loads: number of nets with that many
+    #: loads}``.  Primary outputs with no readers count as zero-load nets.
+    fanout_histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def max_fanout(self) -> int:
+        return max(self.fanout_histogram, default=0)
+
+    def describe(self) -> str:
+        """One-line summary used by campaign and benchmark reports."""
+        gates = ", ".join(f"{count} {name}" for name, count in sorted(self.gate_counts.items()))
+        return (
+            f"{self.name or 'circuit'}: {self.num_inputs} in / {self.num_outputs} out, "
+            f"{self.num_gates} gates ({gates}), depth {self.depth}, "
+            f"max fan-out {self.max_fanout}"
+        )
 
 
 @dataclass(frozen=True)
@@ -172,25 +204,37 @@ class LogicCircuit:
         self.topological_order()
 
     def topological_order(self) -> list[Gate]:
-        """Gates in topological (input-to-output) order."""
+        """Gates in topological (input-to-output) order.
+
+        Kahn's algorithm over pin counts: O(gates + pins) even on deep
+        chain-shaped circuits, and deterministic (declaration order breaks
+        ties), so derived artifacts like ``.bench`` output are stable.
+        """
+        placed = set(self._inputs)
+        pending: dict[str, int] = {}
+        readers: dict[str, list[str]] = {}
+        ready: deque[str] = deque()
+        for name, gate in self._gates.items():
+            unplaced = [net for net in gate.inputs if net not in placed]
+            pending[name] = len(unplaced)
+            for net in unplaced:
+                readers.setdefault(net, []).append(name)
+            if not unplaced:
+                ready.append(name)
         order: list[Gate] = []
-        placed: set[str] = set(self._inputs)
-        remaining = dict(self._gates)
-        while remaining:
-            ready = [
-                name
-                for name, gate in remaining.items()
-                if all(net in placed for net in gate.inputs)
-            ]
-            if not ready:
-                raise LogicCircuitError(
-                    f"combinational loop or undriven nets involving gates: "
-                    f"{sorted(remaining)[:5]}"
-                )
-            for name in ready:
-                gate = remaining.pop(name)
-                order.append(gate)
-                placed.add(gate.output)
+        while ready:
+            gate = self._gates[ready.popleft()]
+            order.append(gate)
+            for reader in readers.get(gate.output, ()):
+                pending[reader] -= 1
+                if pending[reader] == 0:
+                    ready.append(reader)
+        if len(order) != len(self._gates):
+            emitted = {gate.name for gate in order}
+            remaining = sorted(name for name in self._gates if name not in emitted)
+            raise LogicCircuitError(
+                f"combinational loop or undriven nets involving gates: {remaining[:5]}"
+            )
         return order
 
     def levelize(self) -> dict[str, int]:
@@ -237,15 +281,39 @@ class LogicCircuit:
             stack.extend(self.fanout_nets(current))
         return cone
 
+    def stats(self) -> CircuitStats:
+        """Structural profile: gate counts by type, depth, fan-out histogram.
+
+        One pass over the gates counts loads and types; the depth adds one
+        levelization, so the whole profile is linear in gates + pins.
+        """
+        gate_counts: dict[str, int] = {}
+        loads = {net: 0 for net in self.nets()}
+        for gate in self._gates.values():
+            gate_counts[gate.gate_type.value] = gate_counts.get(gate.gate_type.value, 0) + 1
+            for net in gate.inputs:
+                loads[net] = loads.get(net, 0) + 1
+        fanout_histogram: dict[int, int] = {}
+        for count in loads.values():
+            fanout_histogram[count] = fanout_histogram.get(count, 0) + 1
+        return CircuitStats(
+            name=self.name,
+            num_inputs=len(self._inputs),
+            num_outputs=len(self._outputs),
+            num_gates=len(self._gates),
+            num_nets=len(loads),
+            depth=self.depth,
+            gate_counts=gate_counts,
+            fanout_histogram=fanout_histogram,
+        )
+
     def summary(self) -> str:
         """One-line structural summary (the numbers quoted in Section 4.3)."""
-        by_type: dict[str, int] = {}
-        for gate in self._gates.values():
-            by_type[gate.gate_type.value] = by_type.get(gate.gate_type.value, 0) + 1
-        parts = ", ".join(f"{count} {name}" for name, count in sorted(by_type.items()))
+        s = self.stats()
+        parts = ", ".join(f"{count} {name}" for name, count in sorted(s.gate_counts.items()))
         return (
-            f"LogicCircuit {self.name!r}: {len(self._inputs)} inputs, "
-            f"{len(self._outputs)} outputs, {len(self._gates)} gates ({parts}), depth {self.depth}"
+            f"LogicCircuit {self.name!r}: {s.num_inputs} inputs, "
+            f"{s.num_outputs} outputs, {s.num_gates} gates ({parts}), depth {s.depth}"
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

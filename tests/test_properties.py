@@ -4,7 +4,21 @@ from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
-from repro.atpg import evaluate_gate_values, from_bit, simulate_with_forced_net
+from repro.atpg import (
+    evaluate_gate_values,
+    from_bit,
+    packed_simulate_obd,
+    packed_simulate_path_delay,
+    packed_simulate_stuck_at,
+    packed_simulate_transition,
+    random_pairs,
+    random_patterns,
+    serial_simulate_obd,
+    serial_simulate_path_delay,
+    serial_simulate_stuck_at,
+    serial_simulate_transition,
+    simulate_with_forced_net,
+)
 from repro.core import (
     BreakdownStage,
     ProgressionModel,
@@ -13,12 +27,26 @@ from repro.core import (
     is_exercised_em,
     output_switches,
 )
+from repro.faults import (
+    obd_fault_universe,
+    path_delay_universe,
+    stuck_at_universe,
+    transition_fault_universe,
+)
 from repro.logic import (
     GateType,
+    OBD_DAG_GATE_TYPES,
+    array_multiplier,
+    carry_lookahead_adder,
     evaluate_gate,
     full_adder_sum,
+    magnitude_comparator,
+    parse_bench,
+    random_dag,
     ripple_carry_adder,
     simulate_pattern,
+    structurally_equal,
+    write_bench,
 )
 from repro.spice import Circuit, operating_point
 from repro.spice.waveform import Waveform
@@ -79,6 +107,118 @@ def test_forcing_a_net_to_its_own_value_changes_nothing(pattern, net):
     good = simulate_pattern(FA_SUM, pattern)
     forced = simulate_with_forced_net(FA_SUM, pattern, net, good[net])
     assert forced == good
+
+
+# --------------------------------------------------------------------------- #
+# Generator-family invariants.
+# --------------------------------------------------------------------------- #
+@given(st.integers(min_value=1, max_value=4), st.data())
+@settings(max_examples=20, deadline=None)
+def test_array_multiplier_matches_integer_product(bits, data):
+    a = data.draw(st.integers(0, 2**bits - 1))
+    b = data.draw(st.integers(0, 2**bits - 1))
+    circuit = array_multiplier(bits)
+    pattern = [(a >> i) & 1 for i in range(bits)] + [(b >> i) & 1 for i in range(bits)]
+    values = simulate_pattern(circuit, pattern)
+    assert sum(values[f"P{i}"] << i for i in range(2 * bits)) == a * b
+
+
+@given(st.integers(min_value=1, max_value=5), st.data())
+@settings(max_examples=20, deadline=None)
+def test_carry_lookahead_matches_integer_sum(bits, data):
+    a = data.draw(st.integers(0, 2**bits - 1))
+    b = data.draw(st.integers(0, 2**bits - 1))
+    cin = data.draw(st.integers(0, 1))
+    circuit = carry_lookahead_adder(bits)
+    pattern = (
+        [(a >> i) & 1 for i in range(bits)]
+        + [(b >> i) & 1 for i in range(bits)]
+        + [cin]
+    )
+    values = simulate_pattern(circuit, pattern)
+    total = sum(values[f"S{i}"] << i for i in range(bits)) + (values["COUT"] << bits)
+    assert total == a + b + cin
+
+
+@given(st.integers(min_value=1, max_value=5), st.data())
+@settings(max_examples=20, deadline=None)
+def test_comparator_matches_integer_order(bits, data):
+    a = data.draw(st.integers(0, 2**bits - 1))
+    b = data.draw(st.integers(0, 2**bits - 1))
+    circuit = magnitude_comparator(bits)
+    pattern = [(a >> i) & 1 for i in range(bits)] + [(b >> i) & 1 for i in range(bits)]
+    values = simulate_pattern(circuit, pattern)
+    assert (values["EQ"], values["GT"], values["LT"]) == (int(a == b), int(a > b), int(a < b))
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_bench_round_trip_on_random_dags(seed):
+    """write -> parse -> write is a fixed point on arbitrary generated DAGs."""
+    circuit = random_dag(25, num_inputs=4, seed=seed, max_depth=6)
+    text = write_bench(circuit)
+    back = parse_bench(text, name=circuit.name)
+    assert structurally_equal(circuit, back)
+    assert write_bench(back) == text
+
+
+# --------------------------------------------------------------------------- #
+# Cross-engine equivalence: the serial engine is the executable spec the
+# packed engine must match fault for fault, test index for test index --
+# on random DAGs, for every fault model, with and without fault dropping.
+# --------------------------------------------------------------------------- #
+_ENGINE_PAIRS = {
+    "stuck-at": (serial_simulate_stuck_at, packed_simulate_stuck_at),
+    "transition": (serial_simulate_transition, packed_simulate_transition),
+    "path-delay": (serial_simulate_path_delay, packed_simulate_path_delay),
+    "obd": (serial_simulate_obd, packed_simulate_obd),
+}
+
+
+def _equivalence_case(model: str, seed: int, drop_detected: bool) -> None:
+    # OBD needs an expandable-gate palette; other models take the full one.
+    palette = OBD_DAG_GATE_TYPES if model == "obd" else None
+    circuit = random_dag(18, num_inputs=4, seed=seed, max_depth=6, gate_types=palette)
+    if model == "stuck-at":
+        tests = random_patterns(circuit, 48, seed=seed + 1)
+        faults = list(stuck_at_universe(circuit))
+    else:
+        tests = random_pairs(circuit, 48, seed=seed + 1)
+        if model == "transition":
+            faults = list(transition_fault_universe(circuit))
+        elif model == "path-delay":
+            faults = list(path_delay_universe(circuit, limit=60))
+        else:
+            faults = list(obd_fault_universe(circuit))
+    serial_fn, packed_fn = _ENGINE_PAIRS[model]
+    serial = serial_fn(circuit, tests, faults, drop_detected=drop_detected)
+    packed = packed_fn(circuit, tests, faults, drop_detected=drop_detected)
+    assert serial.num_tests == packed.num_tests
+    assert serial.detections == packed.detections
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_serial_packed_equivalence_stuck_at(seed, drop_detected):
+    _equivalence_case("stuck-at", seed, drop_detected)
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_serial_packed_equivalence_transition(seed, drop_detected):
+    _equivalence_case("transition", seed, drop_detected)
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_serial_packed_equivalence_path_delay(seed, drop_detected):
+    _equivalence_case("path-delay", seed, drop_detected)
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_serial_packed_equivalence_obd(seed, drop_detected):
+    _equivalence_case("obd", seed, drop_detected)
 
 
 # --------------------------------------------------------------------------- #
