@@ -1,6 +1,17 @@
-"""Shared report printer for the benchmark harness."""
+"""Shared report printer and machine-readable perf-record sink.
+
+Benchmarks call :func:`record_faultsim` with one measurement per (circuit,
+engine, fault model); at the end of the pytest session the conftest hook
+writes every record to ``BENCH_faultsim.json`` (override the path with
+``REPRO_BENCH_JSON``) so the fault-simulation perf trajectory is tracked
+across PRs -- CI uploads the file as an artifact.
+"""
 
 from __future__ import annotations
+
+import json
+import os
+from typing import Any, Optional
 
 
 def report(rows):
@@ -8,3 +19,63 @@ def report(rows):
     print()
     for row in rows:
         print(row)
+
+
+#: Fault-simulation perf records accumulated over one pytest session.
+_FAULTSIM_RECORDS: list[dict[str, Any]] = []
+
+
+def record_faultsim(
+    *,
+    circuit: str,
+    family: str,
+    engine: str,
+    model: str,
+    num_faults: int,
+    num_tests: int,
+    seconds: float,
+    word_bits: Optional[int] = None,
+) -> float:
+    """Record one fault-simulation measurement; returns fault-tests/second.
+
+    ``engine`` is one of ``"codegen"`` / ``"interp"`` / ``"serial"``;
+    ``family`` is the circuit family (``"rdag"``, ``"mult"``, ``"rca"``, ...)
+    so trend tooling can group workloads across PRs.
+    """
+    throughput = (num_faults * num_tests / seconds) if seconds > 0 else float("inf")
+    _FAULTSIM_RECORDS.append(
+        {
+            "circuit": circuit,
+            "family": family,
+            "engine": engine,
+            "model": model,
+            "num_faults": num_faults,
+            "num_tests": num_tests,
+            "seconds": seconds,
+            "fault_tests_per_second": throughput,
+            "word_bits": word_bits,
+        }
+    )
+    return throughput
+
+
+def write_faultsim_report(path: Optional[str] = None) -> Optional[str]:
+    """Write all accumulated records as JSON; returns the path (None if empty)."""
+    if not _FAULTSIM_RECORDS:
+        return None
+    if path is None:
+        path = os.environ.get("REPRO_BENCH_JSON") or os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_faultsim.json",
+        )
+    payload = {
+        "schema": "repro/faultsim-bench/1",
+        "records": sorted(
+            _FAULTSIM_RECORDS,
+            key=lambda r: (r["family"], r["circuit"], r["model"], r["engine"]),
+        ),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path

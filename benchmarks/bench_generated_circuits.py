@@ -26,9 +26,9 @@ from repro.atpg import (
 )
 from repro.campaign import CampaignSpec, resolve_circuit, run_campaign
 from repro.faults import stuck_at_universe
-from repro.logic import random_dag
+from repro.logic import WORD_BITS, compile_circuit, random_dag
 
-from _report import report
+from _report import record_faultsim, report
 
 BITS = int(os.environ.get("REPRO_GENC_BITS", "4"))
 NUM_TESTS = int(os.environ.get("REPRO_GENC_TESTS", "256"))
@@ -46,15 +46,24 @@ FAMILY_REFS = [
 
 
 @pytest.mark.benchmark(group="generated-circuits")
+@pytest.mark.parametrize("engine", ["codegen", "interp"])
 @pytest.mark.parametrize("ref", FAMILY_REFS)
-def test_packed_throughput_per_family(ref, benchmark):
+def test_packed_throughput_per_family(ref, engine, benchmark):
     circuit = resolve_circuit(ref)
     stats = circuit.stats()
     patterns = random_patterns(circuit, NUM_TESTS, seed=21)
     faults = list(stuck_at_universe(circuit))
+    if engine == "codegen":
+        compiled = compile_circuit(circuit)
+    else:
+        compiled = compile_circuit(circuit, word_bits=WORD_BITS, codegen=False)
 
     rep = benchmark.pedantic(
-        packed_simulate_stuck_at, args=(circuit, patterns, faults), rounds=3, iterations=1
+        packed_simulate_stuck_at,
+        args=(circuit, patterns, faults),
+        kwargs={"compiled": compiled},
+        rounds=3,
+        iterations=1,
     )
     # Mean of the pedantic rounds; --benchmark-disable still returns the
     # result but records no stats, so time one extra run for the report.
@@ -63,13 +72,22 @@ def test_packed_throughput_per_family(ref, benchmark):
         elapsed = timing.stats.mean
     else:
         start = time.perf_counter()
-        packed_simulate_stuck_at(circuit, patterns, faults)
+        packed_simulate_stuck_at(circuit, patterns, faults, compiled=compiled)
         elapsed = time.perf_counter() - start
-    throughput = len(faults) * NUM_TESTS / elapsed if elapsed else float("inf")
+    throughput = record_faultsim(
+        circuit=ref,
+        family=ref.split(":", 1)[0],
+        engine=engine,
+        model="stuck-at",
+        num_faults=len(faults),
+        num_tests=NUM_TESTS,
+        seconds=elapsed,
+        word_bits=compiled.word_bits,
+    )
     report(
         [
             f"  {stats.describe()}",
-            f"  stuck-at: {len(faults)} faults x {NUM_TESTS} patterns in "
+            f"  stuck-at[{engine}]: {len(faults)} faults x {NUM_TESTS} patterns in "
             f"{elapsed * 1e3:7.1f} ms -> {throughput / 1e6:6.2f} Mfault-patterns/s, "
             f"coverage {100 * rep.coverage:.1f}%",
         ]

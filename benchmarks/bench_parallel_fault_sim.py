@@ -1,12 +1,25 @@
-"""Bit-parallel vs. serial fault simulation on a ripple-carry adder.
+"""Fault-simulation engine benchmarks: serial vs interpreter vs generated code.
 
-The packed engine (64 patterns per word, shared good machine, fan-out-cone
-re-simulation) must beat the serial reference engine by at least an order of
-magnitude on a workload beyond the paper's full adder: an 8-bit ripple-carry
-adder with 256 random two-pattern sequences, all four fault models.
+Two benchmark groups:
+
+* ``parallel-fault-sim`` -- the packed engine (now generated code at the
+  default ``word_bits``) must beat the serial reference engine by at least an
+  order of magnitude on an 8-bit ripple-carry adder with 256 random tests,
+  all four fault models.
+* ``codegen-fault-sim`` -- the generated-code engine must beat the packed
+  *interpreter* baseline (the pre-codegen engine: tuple-dispatch op loop at
+  the legacy 64-bit width) by ``REPRO_BENCH_CODEGEN_MIN`` (default 5x) on
+  the random-DAG and array-multiplier workloads, with detections
+  bit-identical to the serial reference.
+
+Every measurement is recorded via :func:`_report.record_faultsim`, and the
+session conftest writes them to ``BENCH_faultsim.json`` for CI to archive.
 
 CI smoke mode: set ``REPRO_BENCH_BITS`` / ``REPRO_BENCH_TESTS`` (e.g. 4 / 64)
-to shrink the workload so perf regressions fail loudly without a long run.
+to shrink the adder workload, ``REPRO_BENCH_RDAG`` / ``REPRO_BENCH_MULT`` /
+``REPRO_BENCH_CODEGEN_TESTS`` to shrink the codegen workloads, and
+``REPRO_BENCH_CODEGEN_MIN`` (e.g. 1.0) to relax the speedup floor so the
+smoke only fails when codegen is *slower* than the interpreter.
 """
 
 from __future__ import annotations
@@ -28,25 +41,46 @@ from repro.atpg import (
     serial_simulate_stuck_at,
     serial_simulate_transition,
 )
+from repro.campaign import resolve_circuit
 from repro.faults import (
     obd_fault_universe,
     path_delay_universe,
     stuck_at_universe,
     transition_fault_universe,
 )
-from repro.logic import ripple_carry_adder
+from repro.logic import WORD_BITS, compile_circuit, ripple_carry_adder
 
-from _report import report
+from _report import record_faultsim, report
 
 BITS = int(os.environ.get("REPRO_BENCH_BITS", "8"))
 NUM_TESTS = int(os.environ.get("REPRO_BENCH_TESTS", "256"))
 #: Structural-path cap for the path-delay universe (keeps the serial run sane).
 PATH_LIMIT = int(os.environ.get("REPRO_BENCH_PATHS", "200"))
 
+#: Codegen-vs-interpreter workloads (the tentpole acceptance criterion).
+RDAG_REF = os.environ.get("REPRO_BENCH_RDAG", "rdag:300,4")
+MULT_REF = os.environ.get("REPRO_BENCH_MULT", "mult:6")
+CODEGEN_TESTS = int(os.environ.get("REPRO_BENCH_CODEGEN_TESTS", "512"))
+#: Minimum combined (stuck-at + transition) speedup of generated code over
+#: the interpreter baseline; CI smoke relaxes this to 1.0.
+CODEGEN_MIN = float(os.environ.get("REPRO_BENCH_CODEGEN_MIN", "5.0"))
+#: Pattern-prefix length for the serial bit-identity cross-check (the serial
+#: engine is orders of magnitude slower, so it checks a prefix).
+SERIAL_CHECK = int(os.environ.get("REPRO_BENCH_SERIAL_CHECK", "64"))
+
 
 @pytest.fixture(scope="module")
 def rca8():
     return ripple_carry_adder(BITS)
+
+
+def _best_of(runs, fn):
+    elapsed = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        elapsed.append(time.perf_counter() - start)
+    return min(elapsed)
 
 
 def _speedup(serial_fn, packed_fn, *args):
@@ -61,6 +95,20 @@ def _speedup(serial_fn, packed_fn, *args):
     return serial_s, packed_s, packed_report
 
 
+def _record_rca(model, num_faults, serial_s, packed_s):
+    circuit = f"rca:{BITS}"
+    for engine, seconds in (("serial", serial_s), ("codegen", packed_s)):
+        record_faultsim(
+            circuit=circuit,
+            family="rca",
+            engine=engine,
+            model=model,
+            num_faults=num_faults,
+            num_tests=NUM_TESTS,
+            seconds=seconds,
+        )
+
+
 @pytest.mark.benchmark(group="parallel-fault-sim")
 def test_packed_stuck_at_speedup(rca8, benchmark):
     patterns = random_patterns(rca8, NUM_TESTS, seed=11)
@@ -72,6 +120,7 @@ def test_packed_stuck_at_speedup(rca8, benchmark):
         packed_simulate_stuck_at, args=(rca8, patterns, faults), rounds=3, iterations=1
     )
     speedup = serial_s / packed_s
+    _record_rca("stuck-at", len(faults), serial_s, packed_s)
     report(
         [
             f"stuck-at     : {len(faults)} faults x {NUM_TESTS} patterns on rca{BITS}",
@@ -93,6 +142,7 @@ def test_packed_transition_speedup(rca8, benchmark):
         packed_simulate_transition, args=(rca8, pairs, faults), rounds=3, iterations=1
     )
     speedup = serial_s / packed_s
+    _record_rca("transition", len(faults), serial_s, packed_s)
     report(
         [
             f"transition   : {len(faults)} faults x {NUM_TESTS} pairs on rca{BITS}",
@@ -114,6 +164,7 @@ def test_packed_path_delay_speedup(rca8, benchmark):
         packed_simulate_path_delay, args=(rca8, pairs, faults), rounds=3, iterations=1
     )
     speedup = serial_s / packed_s
+    _record_rca("path-delay", len(faults), serial_s, packed_s)
     report(
         [
             f"path-delay   : {len(faults)} faults x {NUM_TESTS} pairs on rca{BITS}",
@@ -133,6 +184,7 @@ def test_packed_obd_speedup(rca8, benchmark):
     )
     benchmark.pedantic(packed_simulate_obd, args=(rca8, pairs, faults), rounds=3, iterations=1)
     speedup = serial_s / packed_s
+    _record_rca("obd", len(faults), serial_s, packed_s)
     report(
         [
             f"OBD          : {len(faults)} faults x {NUM_TESTS} pairs on rca{BITS}",
@@ -141,3 +193,81 @@ def test_packed_obd_speedup(rca8, benchmark):
         ]
     )
     assert speedup >= 10.0
+
+
+# --------------------------------------------------------------------------- #
+# Generated code vs. the interpreter baseline (the tentpole criterion).
+# --------------------------------------------------------------------------- #
+@pytest.mark.benchmark(group="codegen-fault-sim")
+@pytest.mark.parametrize("ref", [RDAG_REF, MULT_REF], ids=lambda r: r.split(":")[0])
+def test_codegen_speedup_over_interpreter(ref, benchmark):
+    """Generated code at the default word_bits vs. the packed interpreter.
+
+    Asserts (a) detections bit-identical between the two packed engines on
+    the full workload and vs. the serial reference on a pattern prefix, and
+    (b) combined stuck-at + transition speedup >= CODEGEN_MIN.
+    """
+    circuit = resolve_circuit(ref)
+    family = ref.split(":", 1)[0]
+    patterns = random_patterns(circuit, CODEGEN_TESTS, seed=41)
+    pairs = random_pairs(circuit, CODEGEN_TESTS, seed=42)
+    sa_faults = list(stuck_at_universe(circuit))
+    tr_faults = list(transition_fault_universe(circuit))
+    interp = compile_circuit(circuit, word_bits=WORD_BITS, codegen=False)
+    codegen = compile_circuit(circuit)  # generated code, DEFAULT_WORD_BITS
+
+    workloads = [
+        ("stuck-at", packed_simulate_stuck_at, patterns, sa_faults, serial_simulate_stuck_at),
+        ("transition", packed_simulate_transition, pairs, tr_faults, serial_simulate_transition),
+    ]
+    timings: dict[str, dict[str, float]] = {"interp": {}, "codegen": {}}
+    for model, packed_fn, tests, faults, serial_fn in workloads:
+        reports = {}
+        for engine, cc in (("interp", interp), ("codegen", codegen)):
+            reports[engine] = packed_fn(circuit, tests, faults, compiled=cc)  # warm
+            timings[engine][model] = _best_of(
+                3, lambda f=packed_fn, c=cc: f(circuit, tests, faults, compiled=c)
+            )
+            record_faultsim(
+                circuit=ref,
+                family=family,
+                engine=engine,
+                model=model,
+                num_faults=len(faults),
+                num_tests=len(tests),
+                seconds=timings[engine][model],
+                word_bits=cc.word_bits,
+            )
+        assert reports["codegen"].detections == reports["interp"].detections
+        # Serial bit-identity on a prefix (the reference engine is orders of
+        # magnitude slower; full-set identity is covered by the property and
+        # parity suites).
+        prefix = tests[:SERIAL_CHECK]
+        serial_rep = serial_fn(circuit, prefix, faults)
+        codegen_rep = packed_fn(circuit, prefix, faults, compiled=codegen)
+        assert codegen_rep.detections == serial_rep.detections
+
+    benchmark.pedantic(
+        packed_simulate_stuck_at,
+        args=(circuit, patterns, sa_faults),
+        kwargs={"compiled": codegen},
+        rounds=3,
+        iterations=1,
+    )
+    interp_s = sum(timings["interp"].values())
+    codegen_s = sum(timings["codegen"].values())
+    speedup = interp_s / codegen_s
+    rows = [
+        f"codegen      : {ref} ({len(sa_faults)} sa + {len(tr_faults)} tr faults "
+        f"x {CODEGEN_TESTS} tests, word_bits={codegen.word_bits})"
+    ]
+    for model, _fn, tests, faults, _serial in workloads:
+        ti, tc = timings["interp"][model], timings["codegen"][model]
+        rows.append(
+            f"  {model:10s} interp {ti * 1e3:7.1f} ms | codegen {tc * 1e3:6.1f} ms | "
+            f"speedup {ti / tc:5.1f}x | "
+            f"{len(faults) * len(tests) / tc / 1e6:6.2f} Mfault-tests/s"
+        )
+    rows.append(f"  combined speedup {speedup:.1f}x (floor {CODEGEN_MIN}x)")
+    report(rows)
+    assert speedup >= CODEGEN_MIN

@@ -14,3 +14,12 @@ import sys
 # Make the sibling helper module importable regardless of how pytest set up
 # sys.path for the rootdir.
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush fault-simulation perf records to BENCH_faultsim.json."""
+    from _report import write_faultsim_report
+
+    path = write_faultsim_report()
+    if path:
+        print(f"\n[faultsim-bench] wrote {path}")

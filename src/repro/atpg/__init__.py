@@ -30,23 +30,29 @@ working unchanged.
 Fault-simulation engines
 ------------------------
 
-Two engines produce identical :class:`~repro.atpg.fault_sim.DetectionReport`
+Three engines produce identical :class:`~repro.atpg.fault_sim.DetectionReport`
 objects behind the ``simulate_*`` entry points:
 
 * **packed** (default) -- the bit-parallel engine in
-  :mod:`repro.atpg.parallel_sim`.  Patterns are packed 64 per machine word
-  (:mod:`repro.logic.compiled`), the good machine is evaluated once per
-  pattern block and shared across all faults, and each fault re-simulates
-  only its fan-out cone over the packed words.  Use it everywhere; it is the
-  engine that makes ripple-carry-adder-scale workloads practical.
+  :mod:`repro.atpg.parallel_sim` running per-circuit generated code
+  (:mod:`repro.logic.compiled`).  Patterns are packed hundreds per wide
+  integer word, the good machine is evaluated once per pattern block by an
+  ``exec``-compiled straight-line function and shared across all faults, and
+  each fault costs one call into a per-cone specialized kernel.  Use it
+  everywhere; it is the engine that makes ISCAS-scale workloads practical.
+* **interp** -- the same packed algorithm through the tuple-dispatch
+  interpreter at the legacy 64-bit width (``engine="interp"``): the
+  in-process baseline the generated code is benchmarked and CI-smoked
+  against.
 * **serial** -- the reference engine in :mod:`repro.atpg.fault_sim`
   (``serial_simulate_*``, or ``engine="serial"``).  One full circuit walk per
   (fault, pattern): easy to read and to instrument, and the executable
-  specification the packed engine is property-tested against.  Reach for it
-  when debugging a coverage discrepancy or adding a new fault model.
+  specification both packed variants are property-tested against.  Reach for
+  it when debugging a coverage discrepancy or adding a new fault model.
 
 All four models support ``drop_detected`` (stop simulating a fault after its
-first detection) in both engines with identical first-detection indices.
+first detection) in every engine with identical first-detection indices, at
+any ``word_bits``.
 """
 
 from .compaction import CompactionResult, compact_tests, greedy_compaction

@@ -1,13 +1,16 @@
 """Fault simulation for the stuck-at, transition, path-delay and OBD models.
 
-Two engines sit behind one API.  The default is the **packed** bit-parallel
-engine (:mod:`repro.atpg.parallel_sim`): patterns are simulated 64 at a time
-over machine-word bit-vectors, the good machine is computed once per block
-and shared across all faults, and each fault only re-simulates its fan-out
-cone.  The **serial** engine in this module re-walks the circuit one
-(fault, pattern) at a time; it is the executable specification the packed
-engine is property-tested against, and remains available via
-``engine="serial"`` for debugging and for cross-checking.
+Three engines sit behind one API.  The default is the **packed** bit-parallel
+engine (:mod:`repro.atpg.parallel_sim`): patterns are simulated hundreds at a
+time over wide bit-vectors by per-circuit generated straight-line code
+(:mod:`repro.logic.compiled`), the good machine is computed once per block
+and shared across all faults, and each fault costs one per-cone kernel call.
+``engine="interp"`` runs the same packed algorithm through the tuple-dispatch
+interpreter at the legacy 64-bit width -- the in-process baseline the
+generated code is benchmarked against.  The **serial** engine in this module
+re-walks the circuit one (fault, pattern) at a time; it is the executable
+specification both packed variants are property-tested against, and remains
+available via ``engine="serial"`` for debugging and for cross-checking.
 
 The ``simulate_*`` entry points are thin compatibility wrappers over the
 fault-model registry (:mod:`repro.campaign`): each registered
@@ -30,14 +33,18 @@ from ..faults.obd import ObdFault
 from ..faults.path_delay import RISING, PathDelayFault
 from ..faults.stuck_at import StuckAtFault
 from ..faults.transition import TransitionFault
+from ..logic.compiled import CompiledCircuit
 from ..logic.netlist import LogicCircuit
 from ..logic.simulator import simulate_pattern
 
 Pattern = tuple[int, ...]
 PatternPair = tuple[Pattern, Pattern]
 
-#: Engine names accepted by the ``simulate_*`` entry points.
-ENGINES = ("packed", "serial")
+#: Engine names accepted by the ``simulate_*`` entry points: ``"packed"``
+#: (generated code, wide words -- the default), ``"interp"`` (the packed
+#: interpreter baseline at the legacy 64-bit width) and ``"serial"`` (the
+#: one-(fault, pattern)-at-a-time reference).
+ENGINES = ("packed", "interp", "serial")
 
 
 def _check_engine(engine: str) -> None:
@@ -105,15 +112,18 @@ def simulate_stuck_at(
     faults: Iterable[StuckAtFault],
     drop_detected: bool = False,
     engine: str = "packed",
+    compiled: CompiledCircuit | None = None,
 ) -> DetectionReport:
     """Stuck-at fault simulation of a pattern set (packed engine by default).
 
-    Compatibility wrapper over ``get_model("stuck-at").simulate``.
+    Compatibility wrapper over ``get_model("stuck-at").simulate``; pass a
+    prebuilt *compiled* circuit to skip recompilation across calls.
     """
     from ..campaign import get_model
 
     return get_model("stuck-at").simulate(
-        circuit, patterns, faults, drop_detected=drop_detected, engine=engine
+        circuit, patterns, faults, drop_detected=drop_detected, engine=engine,
+        compiled=compiled,
     )
 
 
@@ -180,15 +190,18 @@ def simulate_transition(
     faults: Iterable[TransitionFault],
     drop_detected: bool = False,
     engine: str = "packed",
+    compiled: CompiledCircuit | None = None,
 ) -> DetectionReport:
     """Transition-fault simulation of a two-pattern test set (packed default).
 
-    Compatibility wrapper over ``get_model("transition").simulate``.
+    Compatibility wrapper over ``get_model("transition").simulate``; pass a
+    prebuilt *compiled* circuit to skip recompilation across calls.
     """
     from ..campaign import get_model
 
     return get_model("transition").simulate(
-        circuit, pairs, faults, drop_detected=drop_detected, engine=engine
+        circuit, pairs, faults, drop_detected=drop_detected, engine=engine,
+        compiled=compiled,
     )
 
 
@@ -260,15 +273,18 @@ def simulate_path_delay(
     faults: Iterable[PathDelayFault],
     drop_detected: bool = False,
     engine: str = "packed",
+    compiled: CompiledCircuit | None = None,
 ) -> DetectionReport:
     """Path-delay fault simulation of a two-pattern test set (packed default).
 
-    Compatibility wrapper over ``get_model("path-delay").simulate``.
+    Compatibility wrapper over ``get_model("path-delay").simulate``; pass a
+    prebuilt *compiled* circuit to skip recompilation across calls.
     """
     from ..campaign import get_model
 
     return get_model("path-delay").simulate(
-        circuit, pairs, faults, drop_detected=drop_detected, engine=engine
+        circuit, pairs, faults, drop_detected=drop_detected, engine=engine,
+        compiled=compiled,
     )
 
 
@@ -343,15 +359,18 @@ def simulate_obd(
     faults: Iterable[ObdFault],
     drop_detected: bool = False,
     engine: str = "packed",
+    compiled: CompiledCircuit | None = None,
 ) -> DetectionReport:
     """OBD fault simulation of a two-pattern test set (packed engine default).
 
-    Compatibility wrapper over ``get_model("obd").simulate``.
+    Compatibility wrapper over ``get_model("obd").simulate``; pass a prebuilt
+    *compiled* circuit to skip recompilation across calls.
     """
     from ..campaign import get_model
 
     return get_model("obd").simulate(
-        circuit, pairs, faults, drop_detected=drop_detected, engine=engine
+        circuit, pairs, faults, drop_detected=drop_detected, engine=engine,
+        compiled=compiled,
     )
 
 

@@ -1,12 +1,18 @@
-"""Bit-parallel (64-patterns-per-word) fault simulation.
+"""Bit-parallel (word-packed) fault simulation over generated code.
 
 This is the fast engine behind :mod:`repro.atpg.fault_sim`: patterns are
-packed into machine-word bit-vectors (:mod:`repro.logic.compiled`), the
-good machine is evaluated **once per pattern block** and shared across every
-fault, and each fault costs only a forced re-simulation of its fan-out cone
-over the packed words.  All four fault models of the reproduction are
-supported and produce :class:`~repro.atpg.fault_sim.DetectionReport`s that
-are bit-identical to the serial reference engine:
+packed into wide bit-vectors (:mod:`repro.logic.compiled`, ``word_bits``
+patterns per word, :data:`~repro.logic.compiled.DEFAULT_WORD_BITS` by
+default), the good machine is evaluated **once per pattern block** by a
+per-circuit ``exec``-compiled straight-line function and shared across every
+fault, and each fault costs only one call into a per-cone specialized kernel
+that returns the detection word directly -- no value-list copy, no output
+loop.  Passing a ``compiled`` circuit built with ``codegen=False`` selects
+the tuple-dispatch interpreter baseline instead; results are bit-identical.
+
+All four fault models of the reproduction are supported and produce
+:class:`~repro.atpg.fault_sim.DetectionReport`s that are bit-identical to
+the serial reference engine:
 
 * **stuck-at** -- clamp the faulty net to the stuck value; a pattern detects
   the fault where a reachable output word differs from the good machine
@@ -26,7 +32,8 @@ are bit-identical to the serial reference engine:
 With ``drop_detected`` a fault stops being simulated after its first
 detection; the recorded index is the lowest set bit of the first non-zero
 detection word, which is exactly the pattern the serial engine would have
-stopped at.
+stopped at.  Detection indices are independent of ``word_bits``: blocks run
+in ascending pattern order at every width.
 """
 
 from __future__ import annotations
@@ -40,11 +47,11 @@ from ..faults.transition import TransitionFault
 from ..logic.compiled import (
     CompiledCircuit,
     compile_circuit,
-    iter_bits,
+    decode_into,
     pack_pair_blocks,
     pack_pattern_blocks,
 )
-from ..logic.netlist import LogicCircuit
+from ..logic.netlist import LogicCircuit, LogicCircuitError
 from .fault_sim import DetectionReport, Pattern, PatternPair
 
 
@@ -58,21 +65,34 @@ def _record(
 ) -> None:
     """Append the pattern indices encoded by *detected_word* for one fault."""
     if drop_detected:
-        detections[key].append(base + next(iter_bits(detected_word)))
+        low = detected_word & -detected_word
+        detections[key].append(base + low.bit_length() - 1)
         remaining.discard(key)
     else:
-        detections[key].extend(base + bit for bit in iter_bits(detected_word))
+        decode_into(detections[key], detected_word, base)
 
 
-def _output_diff(
-    faulty: Sequence[int],
-    good: Sequence[int],
-    outputs: Sequence[int],
-) -> int:
-    diff = 0
-    for index in outputs:
-        diff |= faulty[index] ^ good[index]
-    return diff
+def _compiled_for(
+    circuit: LogicCircuit,
+    compiled: CompiledCircuit | None,
+    word_bits: int | None,
+) -> CompiledCircuit:
+    """Reuse *compiled* when given, else compile with the requested width.
+
+    Passing both is allowed only when they agree -- a prebuilt circuit's
+    width always wins, so a conflicting *word_bits* is an error rather than
+    a silent override.
+    """
+    if compiled is not None:
+        if word_bits is not None and word_bits != compiled.word_bits:
+            raise LogicCircuitError(
+                f"word_bits={word_bits} conflicts with the prebuilt compiled "
+                f"circuit (word_bits={compiled.word_bits}); pass one or the other"
+            )
+        return compiled
+    if word_bits is not None:
+        return compile_circuit(circuit, word_bits=word_bits)
+    return compile_circuit(circuit)
 
 
 def packed_simulate_stuck_at(
@@ -81,28 +101,32 @@ def packed_simulate_stuck_at(
     faults: Iterable[StuckAtFault],
     drop_detected: bool = False,
     compiled: CompiledCircuit | None = None,
+    word_bits: int | None = None,
 ) -> DetectionReport:
     """Bit-parallel stuck-at fault simulation of a pattern set."""
-    cc = compiled if compiled is not None else compile_circuit(circuit)
+    cc = _compiled_for(circuit, compiled, word_bits)
     fault_list = list(faults)
     detections: dict[str, list[int]] = {f.key: [] for f in fault_list}
     remaining = set(detections)
-    sites = [(fault, cc.net_index[fault.net]) for fault in fault_list]
-    for base, mask, words in pack_pattern_blocks(patterns, len(cc.input_indices)):
+    # Everything per-fault is resolved once: key (a property), net id, stuck
+    # value -- the block loop then runs over plain tuples and kernel calls.
+    sites = [(fault.key, cc.net_index[fault.net], fault.value) for fault in fault_list]
+    kernel_for = cc.cone_kernel
+    for base, mask, words in pack_pattern_blocks(
+        patterns, len(cc.input_indices), cc.word_bits
+    ):
         if drop_detected and not remaining:
             break
         good = cc.evaluate(words, mask)
-        for fault, net in sites:
-            if drop_detected and fault.key not in remaining:
+        for key, net, value in sites:
+            if drop_detected and key not in remaining:
                 continue
-            forced = mask if fault.value else 0
+            forced = mask if value else 0
             if not (good[net] ^ forced):
                 continue  # never activated in this block
-            _, outputs = cc.cone(net)
-            faulty = cc.evaluate_forced(good, net, forced, mask)
-            detected = _output_diff(faulty, good, outputs)
+            detected = kernel_for(net)(good, forced, mask)
             if detected:
-                _record(detections, remaining, fault.key, base, detected, drop_detected)
+                _record(detections, remaining, key, base, detected, drop_detected)
     return DetectionReport(detections=detections, num_tests=len(patterns))
 
 
@@ -112,31 +136,36 @@ def packed_simulate_transition(
     faults: Iterable[TransitionFault],
     drop_detected: bool = False,
     compiled: CompiledCircuit | None = None,
+    word_bits: int | None = None,
 ) -> DetectionReport:
     """Bit-parallel transition-fault simulation of a two-pattern test set."""
-    cc = compiled if compiled is not None else compile_circuit(circuit)
+    cc = _compiled_for(circuit, compiled, word_bits)
     fault_list = list(faults)
     detections: dict[str, list[int]] = {f.key: [] for f in fault_list}
     remaining = set(detections)
-    sites = [(fault, cc.net_index[fault.net]) for fault in fault_list]
-    for base, mask, words1, words2 in pack_pair_blocks(pairs, len(cc.input_indices)):
+    sites = [
+        (fault.key, cc.net_index[fault.net], fault.launch_value, fault.final_value)
+        for fault in fault_list
+    ]
+    kernel_for = cc.cone_kernel
+    for base, mask, words1, words2 in pack_pair_blocks(
+        pairs, len(cc.input_indices), cc.word_bits
+    ):
         if drop_detected and not remaining:
             break
         good1 = cc.evaluate(words1, mask)
         good2 = cc.evaluate(words2, mask)
-        for fault, net in sites:
-            if drop_detected and fault.key not in remaining:
+        for key, net, launch_value, final_value in sites:
+            if drop_detected and key not in remaining:
                 continue
-            launch = mask if fault.launch_value else 0
-            final = mask if fault.final_value else 0
+            launch = mask if launch_value else 0
+            final = mask if final_value else 0
             excited = ~(good1[net] ^ launch) & ~(good2[net] ^ final) & mask
             if not excited:
                 continue
-            _, outputs = cc.cone(net)
-            faulty = cc.evaluate_forced(good2, net, launch, mask)
-            detected = _output_diff(faulty, good2, outputs) & excited
+            detected = kernel_for(net)(good2, launch, mask) & excited
             if detected:
-                _record(detections, remaining, fault.key, base, detected, drop_detected)
+                _record(detections, remaining, key, base, detected, drop_detected)
     return DetectionReport(detections=detections, num_tests=len(pairs))
 
 
@@ -146,6 +175,7 @@ def packed_simulate_path_delay(
     faults: Iterable[PathDelayFault],
     drop_detected: bool = False,
     compiled: CompiledCircuit | None = None,
+    word_bits: int | None = None,
 ) -> DetectionReport:
     """Bit-parallel path-delay fault simulation of a two-pattern test set.
 
@@ -156,21 +186,23 @@ def packed_simulate_path_delay(
     path's capture net.  The sensitization word is the AND over the path nets
     of the per-net toggle words -- no forced re-simulation is needed.
     """
-    cc = compiled if compiled is not None else compile_circuit(circuit)
+    cc = _compiled_for(circuit, compiled, word_bits)
     fault_list = list(faults)
     detections: dict[str, list[int]] = {f.key: [] for f in fault_list}
     remaining = set(detections)
     sites = [
-        (fault, tuple(cc.net_index[net] for net in fault.nets), fault.direction == RISING)
+        (fault.key, tuple(cc.net_index[net] for net in fault.nets), fault.direction == RISING)
         for fault in fault_list
     ]
-    for base, mask, words1, words2 in pack_pair_blocks(pairs, len(cc.input_indices)):
+    for base, mask, words1, words2 in pack_pair_blocks(
+        pairs, len(cc.input_indices), cc.word_bits
+    ):
         if drop_detected and not remaining:
             break
         good1 = cc.evaluate(words1, mask)
         good2 = cc.evaluate(words2, mask)
-        for fault, nets, rising in sites:
-            if drop_detected and fault.key not in remaining:
+        for key, nets, rising in sites:
+            if drop_detected and key not in remaining:
                 continue
             word = ~(good2[nets[0]] ^ (mask if rising else 0)) & mask
             for net in nets:
@@ -178,7 +210,7 @@ def packed_simulate_path_delay(
                     break
                 word &= good1[net] ^ good2[net]
             if word:
-                _record(detections, remaining, fault.key, base, word, drop_detected)
+                _record(detections, remaining, key, base, word, drop_detected)
     return DetectionReport(detections=detections, num_tests=len(pairs))
 
 
@@ -188,9 +220,10 @@ def packed_simulate_obd(
     faults: Iterable[ObdFault],
     drop_detected: bool = False,
     compiled: CompiledCircuit | None = None,
+    word_bits: int | None = None,
 ) -> DetectionReport:
     """Bit-parallel OBD fault simulation of a two-pattern test set."""
-    cc = compiled if compiled is not None else compile_circuit(circuit)
+    cc = _compiled_for(circuit, compiled, word_bits)
     fault_list = list(faults)
     detections: dict[str, list[int]] = {f.key: [] for f in fault_list}
     remaining = set(detections)
@@ -200,19 +233,22 @@ def packed_simulate_obd(
         gate = circuit.gate(fault.gate_name)
         sites.append(
             (
-                fault,
+                fault.key,
                 cc.net_index[gate.output],
                 tuple(cc.net_index[n] for n in gate.inputs),
                 fault.local_sequences,
             )
         )
-    for base, mask, words1, words2 in pack_pair_blocks(pairs, len(cc.input_indices)):
+    kernel_for = cc.cone_kernel
+    for base, mask, words1, words2 in pack_pair_blocks(
+        pairs, len(cc.input_indices), cc.word_bits
+    ):
         if drop_detected and not remaining:
             break
         good1 = cc.evaluate(words1, mask)
         good2 = cc.evaluate(words2, mask)
-        for fault, out_net, pins, sequences in sites:
-            if drop_detected and fault.key not in remaining:
+        for key, out_net, pins, sequences in sites:
+            if drop_detected and key not in remaining:
                 continue
             excited = 0
             for first, second in sequences:
@@ -225,10 +261,8 @@ def packed_simulate_obd(
                 excited |= word & mask
             if not excited:
                 continue
-            _, outputs = cc.cone(out_net)
             # The slow gate holds its first-pattern output into pattern two.
-            faulty = cc.evaluate_forced(good2, out_net, good1[out_net], mask)
-            detected = _output_diff(faulty, good2, outputs) & excited
+            detected = kernel_for(out_net)(good2, good1[out_net], mask) & excited
             if detected:
-                _record(detections, remaining, fault.key, base, detected, drop_detected)
+                _record(detections, remaining, key, base, detected, drop_detected)
     return DetectionReport(detections=detections, num_tests=len(pairs))

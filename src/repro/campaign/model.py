@@ -18,6 +18,7 @@ from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
 from ..atpg.fault_sim import DetectionReport
 from ..atpg.podem import PodemOptions
 from ..faults.base import Fault, FaultList
+from ..logic.compiled import CompiledCircuit
 from ..logic.netlist import LogicCircuit
 
 #: Pattern-source kinds: one pattern per test, or launch/capture pairs.
@@ -71,8 +72,14 @@ class FaultModel(Protocol):
         *,
         drop_detected: bool = False,
         engine: str = "packed",
+        compiled: CompiledCircuit | None = None,
     ) -> DetectionReport:
-        """Fault-simulate *tests* (in the model's native shape) over *faults*."""
+        """Fault-simulate *tests* (in the model's native shape) over *faults*.
+
+        *compiled* lets a caller (e.g. the campaign runner) reuse one
+        :class:`~repro.logic.compiled.CompiledCircuit` across every phase
+        instead of recompiling per call; serial simulation ignores it.
+        """
 
     def generate_test(
         self,

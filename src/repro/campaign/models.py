@@ -35,14 +35,26 @@ from ..faults.obd import ObdFault, obd_fault_universe
 from ..faults.path_delay import PathDelayFault, path_delay_universe
 from ..faults.stuck_at import StuckAtFault, stuck_at_universe
 from ..faults.transition import TransitionFault, transition_fault_universe
+from ..logic.compiled import WORD_BITS, CompiledCircuit, compile_circuit
 from ..logic.netlist import LogicCircuit
 from .model import SINGLE_PATTERN, TWO_PATTERN, AtpgOutcome, register_model
 
 
-def _dispatch(packed_fn, serial_fn, circuit, tests, faults, drop_detected, engine):
+def _dispatch(packed_fn, serial_fn, circuit, tests, faults, drop_detected, engine, compiled):
+    """Route one simulate() call to the right engine.
+
+    ``"packed"`` and ``"interp"`` both run the bit-parallel algorithm; the
+    difference is the :class:`CompiledCircuit` flavor (generated code at the
+    wide default width vs. the interpreter baseline at the legacy 64-bit
+    width).  A caller-supplied *compiled* circuit is reused as-is when its
+    flavor matches the requested engine, so campaigns compile exactly once.
+    """
     _check_engine(engine)
-    fn = packed_fn if engine == "packed" else serial_fn
-    return fn(circuit, tests, faults, drop_detected=drop_detected)
+    if engine == "serial":
+        return serial_fn(circuit, tests, faults, drop_detected=drop_detected)
+    if engine == "interp" and (compiled is None or compiled.codegen):
+        compiled = compile_circuit(circuit, word_bits=WORD_BITS, codegen=False)
+    return packed_fn(circuit, tests, faults, drop_detected=drop_detected, compiled=compiled)
 
 
 class StuckAtModel:
@@ -67,6 +79,7 @@ class StuckAtModel:
         *,
         drop_detected: bool = False,
         engine: str = "packed",
+        compiled: CompiledCircuit | None = None,
     ) -> DetectionReport:
         return _dispatch(
             packed_simulate_stuck_at,
@@ -76,6 +89,7 @@ class StuckAtModel:
             faults,
             drop_detected,
             engine,
+            compiled,
         )
 
     def generate_test(
@@ -110,6 +124,7 @@ class TransitionModel:
         *,
         drop_detected: bool = False,
         engine: str = "packed",
+        compiled: CompiledCircuit | None = None,
     ) -> DetectionReport:
         return _dispatch(
             packed_simulate_transition,
@@ -119,6 +134,7 @@ class TransitionModel:
             faults,
             drop_detected,
             engine,
+            compiled,
         )
 
     def generate_test(
@@ -153,6 +169,7 @@ class PathDelayModel:
         *,
         drop_detected: bool = False,
         engine: str = "packed",
+        compiled: CompiledCircuit | None = None,
     ) -> DetectionReport:
         return _dispatch(
             packed_simulate_path_delay,
@@ -162,6 +179,7 @@ class PathDelayModel:
             faults,
             drop_detected,
             engine,
+            compiled,
         )
 
     def generate_test(
@@ -204,6 +222,7 @@ class ObdModel:
         *,
         drop_detected: bool = False,
         engine: str = "packed",
+        compiled: CompiledCircuit | None = None,
     ) -> DetectionReport:
         return _dispatch(
             packed_simulate_obd,
@@ -213,6 +232,7 @@ class ObdModel:
             faults,
             drop_detected,
             engine,
+            compiled,
         )
 
     def generate_test(

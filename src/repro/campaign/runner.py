@@ -30,6 +30,7 @@ from ..atpg.random_tpg import (
     single_input_change_pairs,
 )
 from ..faults.base import FaultList
+from ..logic.compiled import DEFAULT_WORD_BITS, WORD_BITS, CompiledCircuit, compile_circuit
 from ..logic.netlist import CircuitStats, LogicCircuit, LogicCircuitError
 from .circuits import resolve_circuit
 from .model import TWO_PATTERN, AtpgOutcome, FaultModel, get_model
@@ -63,6 +64,14 @@ class CampaignSpec:
     name, a parametric reference (``"rca:8"``, ``"mult:4"``,
     ``"rdag:40,7"``) or a ``.bench`` file path -- see
     :func:`repro.campaign.circuits.resolve_circuit`.
+
+    ``engine`` picks the fault-simulation engine (``"packed"`` generated
+    code, ``"interp"`` packed interpreter baseline, ``"serial"`` reference),
+    and ``word_bits`` overrides its block width (None keeps the engine's
+    default: :data:`~repro.logic.compiled.DEFAULT_WORD_BITS` for packed, 64
+    for interp).  The circuit is compiled once per campaign and the same
+    :class:`~repro.logic.compiled.CompiledCircuit` drives the pattern phase,
+    the ATPG top-up re-simulation and everything downstream of them.
     """
 
     model: str = "stuck-at"
@@ -77,6 +86,7 @@ class CampaignSpec:
     compact: bool = True
     drop_detected: bool = False
     engine: str = "packed"
+    word_bits: Optional[int] = None
 
     def validate(self) -> None:
         if self.pattern_source not in PATTERN_SOURCES:
@@ -87,6 +97,8 @@ class CampaignSpec:
             raise CampaignError("pattern_count must be non-negative")
         if self.pattern_source == "none" and not self.run_atpg:
             raise CampaignError("campaign has no test phase: set pattern_source or run_atpg")
+        if self.word_bits is not None and self.word_bits < 1:
+            raise CampaignError(f"word_bits must be >= 1, got {self.word_bits}")
         _check_engine(self.engine)
 
 
@@ -258,6 +270,7 @@ class CampaignResult:
                     "compact": spec.compact,
                     "drop_detected": spec.drop_detected,
                     "engine": spec.engine,
+                    "word_bits": spec.word_bits,
                 }
             ),
             "circuit_stats": {
@@ -395,6 +408,15 @@ class Campaign:
             raise CampaignError(str(exc)) from None
         start = time.perf_counter()
 
+        # One compile per campaign: every phase's fault simulation reuses the
+        # same CompiledCircuit (codegen for "packed", interpreter baseline at
+        # the legacy width for "interp"; the serial engine needs none).
+        compiled: CompiledCircuit | None = None
+        if spec.engine != "serial":
+            codegen = spec.engine == "packed"
+            word_bits = spec.word_bits or (DEFAULT_WORD_BITS if codegen else WORD_BITS)
+            compiled = compile_circuit(circuit, word_bits=word_bits, codegen=codegen)
+
         universe = model.build_universe(circuit, **spec.universe_options)
         faults = model.collapse(circuit, universe) if spec.collapse else universe
         detected: set[str] = set()
@@ -404,7 +426,8 @@ class Campaign:
             t0 = time.perf_counter()
             tests = self.patterns_for(circuit)
             report = model.simulate(
-                circuit, tests, faults, drop_detected=spec.drop_detected, engine=spec.engine
+                circuit, tests, faults, drop_detected=spec.drop_detected,
+                engine=spec.engine, compiled=compiled,
             )
             pattern_phase = PatternPhaseResult(
                 source=spec.pattern_source,
@@ -436,7 +459,8 @@ class Campaign:
             else:
                 sim_faults = faults
             report = model.simulate(
-                circuit, atpg_tests, sim_faults, drop_detected=spec.drop_detected, engine=spec.engine
+                circuit, atpg_tests, sim_faults, drop_detected=spec.drop_detected,
+                engine=spec.engine, compiled=compiled,
             )
             untestable = sum(1 for o in outcomes if o.untestable)
             aborted = sum(1 for o in outcomes if not o.success and o.aborted)

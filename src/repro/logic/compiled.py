@@ -1,21 +1,33 @@
-"""Compiled bit-parallel circuit evaluation.
+"""Compiled bit-parallel circuit evaluation with per-circuit code generation.
 
 A :class:`CompiledCircuit` levelizes a :class:`~repro.logic.netlist.LogicCircuit`
 once into a flat, topologically ordered op list over dense integer net ids.
-Evaluation then runs over plain Python ints used as :data:`WORD_BITS`-wide
+Evaluation then runs over plain Python ints used as ``word_bits``-wide
 bit-vectors: bit *i* of every net word carries the value of that net under
-pattern *i* of the block, so one pass over the op list simulates up to 64
-patterns at once.
+pattern *i* of the block, so one pass simulates up to ``word_bits`` patterns
+at once.  Python ints are arbitrary precision, so the block width is a free
+parameter: the default of :data:`DEFAULT_WORD_BITS` packs several hundred
+patterns per pass, amortizing the per-op overhead that dominates a pure-Python
+engine (:data:`WORD_BITS` remains the legacy 64-bit convention of the
+interpreter baseline).
 
-Two extra structures make the engine suitable for fault simulation:
+Two evaluation strategies sit behind one API:
 
-* :meth:`CompiledCircuit.evaluate_forced` re-simulates with one net clamped to
-  an arbitrary per-pattern word (the packed analogue of
-  :func:`repro.atpg.fault_sim.simulate_with_forced_net`), touching only the
-  ops in the forced net's fan-out cone;
-* :meth:`CompiledCircuit.cone` exposes, per net, that cone's op slice and the
-  primary outputs reachable from it, so callers compare only outputs a fault
-  can possibly reach.
+* **codegen** (default) -- at compile time the op list is turned into the
+  source of one straight-line Python function (one assignment per gate over
+  local variables, no list indexing, no dispatch) and ``exec``-compiled.
+  Masking is fused only into the ops that need it: inputs are masked once on
+  entry, AND/OR/XOR of already-masked words stay masked, and only inverting
+  ops re-mask.  Forced re-simulation uses lazily compiled **per-cone
+  kernels** (:meth:`CompiledCircuit.cone_diff`) that read just the cone's
+  side inputs and return the output-difference word directly, instead of
+  copying the full O(num_nets) value list per fault per block.
+* **interpreter** (``codegen=False``) -- the original tuple-dispatch loop
+  (:func:`_run_ops`), kept as the in-process baseline the generated code is
+  benchmarked and tested against.
+
+Both strategies are bit-identical for every ``word_bits``; the serial engine
+in :mod:`repro.atpg.fault_sim` remains the external reference.
 
 The helpers :func:`pack_pattern_blocks` / :func:`pack_pair_blocks` slice a
 pattern (pair) sequence into word-sized blocks, and :func:`iter_bits` walks
@@ -24,15 +36,20 @@ the set bits of a detection word back to pattern indices.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from .gates import GateType
 from .netlist import LogicCircuit, LogicCircuitError
 
-#: Number of patterns packed into one machine word of the engine.  Python
-#: ints are arbitrary precision, so this is a block-size convention (64 keeps
-#: every intermediate in one CPython "small" int limb sequence and matches
-#: what a C engine would use), not a hard limit of the representation.
+#: Default number of patterns packed into one word of the engine.  Wider than
+#: a machine word on purpose: per-op Python overhead, not bit-width, bounds
+#: throughput, and CPython big-int bitwise ops on a few hundred bits cost
+#: barely more than on 64.  512 is the measured sweet spot on the benchmark
+#: workloads; past ~1024 bits the limb work starts to dominate again.
+DEFAULT_WORD_BITS = 512
+
+#: The legacy fixed block width of the interpreter engine (what a C engine
+#: would use); kept as the baseline convention for benchmarks and tests.
 WORD_BITS = 64
 
 # Flat op codes; variadic gate types (AND2/AND3, ...) share one code and are
@@ -61,7 +78,7 @@ Op = tuple[int, int, tuple[int, ...]]
 
 
 def _run_ops(ops: Sequence[Op], values: list[int], mask: int) -> None:
-    """Evaluate *ops* in place over packed words (each result masked)."""
+    """Interpreter baseline: evaluate *ops* in place over packed words."""
     for code, out, ins in ops:
         if code == _NAND:
             word = values[ins[0]]
@@ -96,11 +113,59 @@ def _run_ops(ops: Sequence[Op], values: list[int], mask: int) -> None:
         values[out] = word
 
 
-class CompiledCircuit:
-    """A levelized, bit-parallel evaluator for one :class:`LogicCircuit`."""
+def _op_expression(code: int, names: Sequence[str]) -> str:
+    """Python expression computing one op over already-masked operand names.
 
-    def __init__(self, circuit: LogicCircuit):
+    The masking invariant of the generated code: every operand name holds a
+    masked word, AND/OR/XOR preserve maskedness, so only inverting ops append
+    ``& mask``.
+    """
+    if code == _BUF:
+        return names[0]
+    if code == _INV:
+        return f"~{names[0]} & mask"
+    if code == _AND:
+        return " & ".join(names)
+    if code == _OR:
+        return " | ".join(names)
+    if code == _NAND:
+        return f"~({' & '.join(names)}) & mask"
+    if code == _NOR:
+        return f"~({' | '.join(names)}) & mask"
+    if code == _XOR:
+        return f"{names[0]} ^ {names[1]}"
+    if code == _XNOR:
+        return f"~({names[0]} ^ {names[1]}) & mask"
+    if code == _AOI21:
+        return f"~(({names[0]} & {names[1]}) | {names[2]}) & mask"
+    if code == _OAI21:
+        return f"~(({names[0]} | {names[1]}) & {names[2]}) & mask"
+    raise LogicCircuitError(f"unhandled opcode {code}")  # pragma: no cover
+
+
+def _check_word_bits(word_bits: int) -> None:
+    if word_bits < 1:
+        raise LogicCircuitError(f"word_bits must be >= 1, got {word_bits}")
+
+
+class CompiledCircuit:
+    """A levelized, bit-parallel evaluator for one :class:`LogicCircuit`.
+
+    ``word_bits`` sets the block width every evaluation of this instance
+    uses; ``codegen=False`` selects the interpreter baseline instead of the
+    generated straight-line code.
+    """
+
+    def __init__(
+        self,
+        circuit: LogicCircuit,
+        word_bits: int = DEFAULT_WORD_BITS,
+        codegen: bool = True,
+    ):
+        _check_word_bits(word_bits)
         self.circuit = circuit
+        self.word_bits = word_bits
+        self.codegen = codegen
         order = circuit.topological_order()
 
         #: Net name -> dense id; primary inputs first, then gate outputs in
@@ -132,6 +197,53 @@ class CompiledCircuit:
             for index in set(ins):
                 self._loads.setdefault(index, []).append(position)
         self._cones: dict[int, tuple[tuple[Op, ...], tuple[int, ...]]] = {}
+        self._eval_fn: Callable[[Sequence[int], int], list[int]] | None = (
+            self._compile_evaluate() if codegen else None
+        )
+        self._diff_kernels: dict[int, Callable[[Sequence[int], int, int], int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Code generation.
+    # ------------------------------------------------------------------ #
+    def _exec(self, lines: list[str], name: str) -> Callable:
+        source = "\n".join(lines)
+        namespace: dict = {}
+        exec(compile(source, f"<compiled {self.circuit.name}:{name}>", "exec"), {}, namespace)
+        return namespace[name]
+
+    def _compile_evaluate(self) -> Callable[[Sequence[int], int], list[int]]:
+        """Straight-line full-circuit evaluator: one assignment per gate."""
+        lines = ["def _evaluate(inputs, mask):"]
+        for position, index in enumerate(self.input_indices):
+            lines.append(f"    v{index} = inputs[{position}] & mask")
+        for code, out, ins in self.ops:
+            lines.append(f"    v{out} = {_op_expression(code, [f'v{i}' for i in ins])}")
+        body = ", ".join(f"v{i}" for i in range(self.num_nets))
+        lines.append(f"    return [{body}]")
+        return self._exec(lines, "_evaluate")
+
+    def _compile_cone_kernel(self, net_index: int) -> Callable[[Sequence[int], int, int], int]:
+        """Specialized forced-resim kernel for one net's fan-out cone.
+
+        The kernel re-evaluates only the cone's ops (side inputs read from
+        the base value list, cone nets held in locals -- nothing is copied or
+        written back) and returns the OR over the cone's reachable primary
+        outputs of ``faulty ^ base``: the detection word, directly.
+        """
+        ops, outputs = self.cone(net_index)
+        computed = {net_index} | {out for _code, out, _ins in ops}
+        side_inputs = sorted(
+            {i for _code, _out, ins in ops for i in ins if i not in computed}
+        )
+        lines = ["def _kernel(values, forced, mask):"]
+        lines.append(f"    v{net_index} = forced & mask")
+        for index in side_inputs:
+            lines.append(f"    v{index} = values[{index}]")
+        for code, out, ins in ops:
+            lines.append(f"    v{out} = {_op_expression(code, [f'v{i}' for i in ins])}")
+        terms = [f"(v{index} ^ values[{index}])" for index in outputs]
+        lines.append("    return " + (" | ".join(terms) if terms else "0"))
+        return self._exec(lines, "_kernel")
 
     # ------------------------------------------------------------------ #
     # Evaluation.
@@ -146,6 +258,8 @@ class CompiledCircuit:
             raise LogicCircuitError(
                 f"expected {len(self.input_indices)} input words, got {len(input_words)}"
             )
+        if self._eval_fn is not None:
+            return self._eval_fn(input_words, mask)
         values = [0] * self.num_nets
         for index, word in zip(self.input_indices, input_words):
             values[index] = word & mask
@@ -188,7 +302,9 @@ class CompiledCircuit:
 
         Only the forced net's fan-out cone is re-evaluated; nets outside the
         cone keep their base values, so callers must restrict output
-        comparisons to :meth:`cone`'s reachable outputs.
+        comparisons to :meth:`cone`'s reachable outputs.  This is the
+        full-value-list compatibility path; the fault-simulation hot path is
+        :meth:`cone_diff`.
         """
         ops, _ = self.cone(net_index)
         values = list(base_values)
@@ -196,57 +312,131 @@ class CompiledCircuit:
         _run_ops(ops, values, mask)
         return values
 
+    def _interp_cone_kernel(
+        self, net_index: int
+    ) -> Callable[[Sequence[int], int, int], int]:
+        """Interpreter-mode kernel with the same calling convention: copy the
+        value list, re-run the cone ops, XOR-compare the reachable outputs."""
+        ops, outputs = self.cone(net_index)
 
-def compile_circuit(circuit: LogicCircuit) -> CompiledCircuit:
+        def _kernel(values: Sequence[int], forced: int, mask: int) -> int:
+            faulty = list(values)
+            faulty[net_index] = forced & mask
+            _run_ops(ops, faulty, mask)
+            diff = 0
+            for index in outputs:
+                diff |= faulty[index] ^ values[index]
+            return diff
+
+        return _kernel
+
+    def cone_kernel(self, net_index: int) -> Callable[[Sequence[int], int, int], int]:
+        """The forced-resim kernel for one net, compiled (or built) lazily.
+
+        ``kernel(base_values, forced_word, mask)`` returns the detection
+        word: the OR of ``faulty ^ base`` over the cone's reachable primary
+        outputs when the net is clamped to *forced_word*.  Fault-simulation
+        drivers fetch the kernel once per fault site and call it per block.
+        """
+        kernel = self._diff_kernels.get(net_index)
+        if kernel is None:
+            if self.codegen:
+                kernel = self._compile_cone_kernel(net_index)
+            else:
+                kernel = self._interp_cone_kernel(net_index)
+            self._diff_kernels[net_index] = kernel
+        return kernel
+
+    def cone_diff(
+        self,
+        base_values: Sequence[int],
+        net_index: int,
+        forced_word: int,
+        mask: int,
+    ) -> int:
+        """Detection word of clamping one net: OR of ``faulty ^ base`` over
+        the cone's reachable primary outputs.
+
+        Equivalent to :meth:`evaluate_forced` followed by XOR-comparing the
+        reachable outputs, but via :meth:`cone_kernel` -- the codegen kernel
+        never copies the value list.
+        """
+        return self.cone_kernel(net_index)(base_values, forced_word, mask)
+
+
+def compile_circuit(
+    circuit: LogicCircuit,
+    word_bits: int = DEFAULT_WORD_BITS,
+    codegen: bool = True,
+) -> CompiledCircuit:
     """Levelize *circuit* into a :class:`CompiledCircuit`."""
-    return CompiledCircuit(circuit)
+    return CompiledCircuit(circuit, word_bits=word_bits, codegen=codegen)
 
 
 # --------------------------------------------------------------------------- #
 # Pattern packing.
 # --------------------------------------------------------------------------- #
+def _pack_into(
+    words: list[int],
+    pattern: Sequence[int],
+    bit: int,
+    index: int,
+    num_inputs: int,
+) -> None:
+    """OR one pattern into *words* at bit position *bit* (validating it)."""
+    if len(pattern) != num_inputs:
+        raise LogicCircuitError(
+            f"pattern {index} has {len(pattern)} bits, expected {num_inputs}"
+        )
+    select = 1 << bit
+    for position, value in enumerate(pattern):
+        if value == 1:
+            words[position] |= select
+        elif value != 0:
+            raise LogicCircuitError(
+                f"pattern {index} bit {position} must be 0 or 1, got {value!r}"
+            )
+
+
 def pack_pattern_blocks(
     patterns: Sequence[Sequence[int]],
     num_inputs: int,
+    word_bits: int = DEFAULT_WORD_BITS,
 ) -> Iterator[tuple[int, int, list[int]]]:
     """Slice *patterns* into packed blocks of (base index, mask, input words).
 
     Pattern ``base + i`` occupies bit *i* of every word; ``mask`` has one bit
     per pattern actually present in the (possibly short, final) block.
     """
-    for base in range(0, len(patterns), WORD_BITS):
-        block = patterns[base : base + WORD_BITS]
+    _check_word_bits(word_bits)
+    for base in range(0, len(patterns), word_bits):
+        block = patterns[base : base + word_bits]
         words = [0] * num_inputs
         for bit, pattern in enumerate(block):
-            if len(pattern) != num_inputs:
-                raise LogicCircuitError(
-                    f"pattern {base + bit} has {len(pattern)} bits, expected {num_inputs}"
-                )
-            select = 1 << bit
-            for position, value in enumerate(pattern):
-                if value == 1:
-                    words[position] |= select
-                elif value != 0:
-                    raise LogicCircuitError(
-                        f"pattern {base + bit} bit {position} must be 0 or 1, got {value!r}"
-                    )
+            _pack_into(words, pattern, bit, base + bit, num_inputs)
         yield base, (1 << len(block)) - 1, words
 
 
 def pack_pair_blocks(
     pairs: Sequence[tuple[Sequence[int], Sequence[int]]],
     num_inputs: int,
+    word_bits: int = DEFAULT_WORD_BITS,
 ) -> Iterator[tuple[int, int, list[int], list[int]]]:
     """Like :func:`pack_pattern_blocks` for two-pattern sequences.
 
     Yields (base index, mask, first-pattern words, second-pattern words).
+    Streams block-wise: only one block of pairs is touched at a time, never
+    full first/second copies of the whole sequence.
     """
-    firsts = [pair[0] for pair in pairs]
-    seconds = [pair[1] for pair in pairs]
-    second_blocks = pack_pattern_blocks(seconds, num_inputs)
-    for base, mask, words1 in pack_pattern_blocks(firsts, num_inputs):
-        _, _, words2 = next(second_blocks)
-        yield base, mask, words1, words2
+    _check_word_bits(word_bits)
+    for base in range(0, len(pairs), word_bits):
+        block = pairs[base : base + word_bits]
+        words1 = [0] * num_inputs
+        words2 = [0] * num_inputs
+        for bit, (first, second) in enumerate(block):
+            _pack_into(words1, first, bit, base + bit, num_inputs)
+            _pack_into(words2, second, bit, base + bit, num_inputs)
+        yield base, (1 << len(block)) - 1, words1, words2
 
 
 def iter_bits(word: int) -> Iterator[int]:
@@ -255,3 +445,25 @@ def iter_bits(word: int) -> Iterator[int]:
         low = word & -word
         yield low.bit_length() - 1
         word ^= low
+
+
+#: Per-byte set-bit offsets, for decoding detection words a byte at a time.
+_BYTE_BITS: tuple[tuple[int, ...], ...] = tuple(
+    tuple(bit for bit in range(8) if (value >> bit) & 1) for value in range(256)
+)
+
+
+def decode_into(out: list[int], word: int, base: int) -> None:
+    """Append ``base + i`` to *out* for every set bit *i* of *word*, ascending.
+
+    Equivalent to ``out.extend(base + b for b in iter_bits(word))`` but walks
+    the word a byte at a time through a lookup table -- decoding detection
+    words back to pattern indices is hot enough in wide-word fault simulation
+    to matter.
+    """
+    append = out.append
+    for position, byte in enumerate(word.to_bytes((word.bit_length() + 7) >> 3, "little")):
+        if byte:
+            offset = base + (position << 3)
+            for bit in _BYTE_BITS[byte]:
+                append(offset + bit)

@@ -216,14 +216,27 @@ class TestPipelinePhases:
         assert all(isinstance(bit, int) for pattern in single for bit in pattern)
         assert all(len(pair) == 2 and pair[0] != pair[1] for pair in pairs)
 
-    def test_serial_engine_matches_packed(self, fa_sum):
-        for engine in ("packed", "serial"):
+    def test_all_engines_match(self, fa_sum):
+        """packed (codegen), interp (baseline) and serial campaigns agree."""
+        packed_detections = None
+        for engine in ("packed", "interp", "serial"):
             result = run_campaign(fa_sum, model="obd", pattern_source="sic",
                                   run_atpg=False, engine=engine, compact=False)
-            if engine == "packed":
+            if packed_detections is None:
                 packed_detections = result.detections
             else:
                 assert result.detections == packed_detections
+
+    def test_word_bits_knob(self, fa_sum):
+        """Any positive word_bits yields identical detections; 0 is rejected."""
+        baseline = run_campaign(fa_sum, model="stuck-at", pattern_source="exhaustive",
+                                run_atpg=False, compact=False)
+        narrow = run_campaign(fa_sum, model="stuck-at", pattern_source="exhaustive",
+                              run_atpg=False, compact=False, word_bits=2)
+        assert narrow.detections == baseline.detections
+        assert narrow.as_dict()["spec"]["word_bits"] == 2
+        with pytest.raises(CampaignError, match="word_bits"):
+            Campaign(CampaignSpec(word_bits=0))
 
 
 class TestReporting:

@@ -12,11 +12,13 @@ from repro.atpg import (
     exhaustive_pairs,
     exhaustive_patterns,
     packed_simulate_obd,
+    packed_simulate_path_delay,
     packed_simulate_stuck_at,
     packed_simulate_transition,
     random_pairs,
     random_patterns,
     serial_simulate_obd,
+    serial_simulate_path_delay,
     serial_simulate_stuck_at,
     serial_simulate_transition,
     simulate_obd,
@@ -25,20 +27,24 @@ from repro.atpg import (
 )
 from repro.faults import (
     obd_fault_universe,
+    path_delay_universe,
     stuck_at_universe,
     transition_fault_universe,
 )
 from repro.logic import (
+    DEFAULT_WORD_BITS,
     WORD_BITS,
     CompiledCircuit,
     GateType,
     LogicCircuit,
+    LogicCircuitError,
     compile_circuit,
     iter_bits,
     pack_pair_blocks,
     pack_pattern_blocks,
     simulate_pattern,
 )
+from repro.logic.compiled import decode_into
 
 # Gate types every fault model (including OBD site enumeration) supports.
 _RANDOM_GATE_TYPES = [
@@ -115,12 +121,41 @@ class TestCompiledCircuit:
 
     def test_pack_blocks_round_trip(self):
         patterns = [(i & 1, (i >> 1) & 1) for i in range(70)]
-        blocks = list(pack_pattern_blocks(patterns, 2))
+        blocks = list(pack_pattern_blocks(patterns, 2, WORD_BITS))
         assert [b[0] for b in blocks] == [0, 64]
         assert blocks[0][1] == (1 << 64) - 1 and blocks[1][1] == (1 << 6) - 1
         for base, _mask, words in blocks:
             for bit, pattern in enumerate(patterns[base : base + WORD_BITS]):
                 assert tuple((w >> bit) & 1 for w in words) == pattern
+
+    def test_pack_blocks_default_width_is_wide(self):
+        """At the wide default, 70 patterns fit one (ragged) block."""
+        patterns = [(i & 1, (i >> 1) & 1) for i in range(70)]
+        assert 70 < DEFAULT_WORD_BITS
+        [(base, mask, words)] = list(pack_pattern_blocks(patterns, 2))
+        assert base == 0 and mask == (1 << 70) - 1
+        for bit, pattern in enumerate(patterns):
+            assert tuple((w >> bit) & 1 for w in words) == pattern
+
+    @pytest.mark.parametrize("word_bits", [1, 3, 64, 1000])
+    def test_pack_pair_blocks_streams_any_width(self, word_bits):
+        pairs = [
+            ((i & 1, (i >> 1) & 1), ((i >> 1) & 1, 1 - (i & 1))) for i in range(10)
+        ]
+        blocks = list(pack_pair_blocks(pairs, 2, word_bits))
+        assert [b[0] for b in blocks] == list(range(0, 10, word_bits))
+        seen = []
+        for base, mask, w1, w2 in blocks:
+            size = min(word_bits, 10 - base)
+            assert mask == (1 << size) - 1
+            for bit in range(size):
+                seen.append(
+                    (
+                        tuple((w >> bit) & 1 for w in w1),
+                        tuple((w >> bit) & 1 for w in w2),
+                    )
+                )
+        assert seen == pairs
 
     def test_pack_pairs_aligns_blocks(self):
         pairs = [((0, 1), (1, 1)), ((1, 0), (0, 0))]
@@ -129,9 +164,26 @@ class TestCompiledCircuit:
         assert [(w >> 1) & 1 for w in w1] == [1, 0]
         assert [(w >> 1) & 1 for w in w2] == [0, 0]
 
+    def test_bad_word_bits_rejected(self, c17_circuit):
+        with pytest.raises(LogicCircuitError, match="word_bits"):
+            list(pack_pattern_blocks([(0, 0, 0, 0, 0)], 5, 0))
+        with pytest.raises(LogicCircuitError, match="word_bits"):
+            compile_circuit(c17_circuit, word_bits=0)
+
     def test_iter_bits(self):
         assert list(iter_bits(0)) == []
         assert list(iter_bits(0b1011001)) == [0, 3, 4, 6]
+
+    def test_decode_into_matches_iter_bits(self):
+        import random as _random
+
+        rng = _random.Random(9)
+        for _ in range(50):
+            word = rng.getrandbits(rng.randrange(1, 1200))
+            base = rng.randrange(0, 10_000)
+            out = [123]
+            decode_into(out, word, base)
+            assert out == [123] + [base + bit for bit in iter_bits(word)]
 
     def test_non_binary_pattern_rejected_like_serial(self, c17_circuit):
         """Both engines reject non-0/1 pattern bits (engine parity)."""
@@ -201,6 +253,111 @@ class TestPackedSerialIdentity:
         report = simulate_obd(fa_sum, pairs, faults)
         assert report.num_tests == len(pairs)
         assert 0.0 < report.coverage <= 1.0
+
+
+# --------------------------------------------------------------------------- #
+# Code generation: generated evaluator and cone kernels vs the interpreter.
+# --------------------------------------------------------------------------- #
+class TestCodegen:
+    def test_generated_evaluate_matches_interpreter(self, c17_circuit):
+        codegen = compile_circuit(c17_circuit, word_bits=32)
+        interp = compile_circuit(c17_circuit, word_bits=32, codegen=False)
+        patterns = exhaustive_patterns(c17_circuit)
+        for _base, mask, words in pack_pattern_blocks(patterns, 5, 32):
+            assert codegen.evaluate(words, mask) == interp.evaluate(words, mask)
+
+    def test_cone_diff_matches_evaluate_forced(self, c17_circuit):
+        for codegen in (True, False):
+            cc = compile_circuit(c17_circuit, word_bits=32, codegen=codegen)
+            patterns = exhaustive_patterns(c17_circuit)
+            _, mask, words = next(pack_pattern_blocks(patterns, 5, 32))
+            good = cc.evaluate(words, mask)
+            for net_index in range(cc.num_nets):
+                for forced in (0, mask, 0b1010):
+                    _, outputs = cc.cone(net_index)
+                    faulty = cc.evaluate_forced(good, net_index, forced, mask)
+                    expected = 0
+                    for out in outputs:
+                        expected |= faulty[out] ^ good[out]
+                    assert cc.cone_diff(good, net_index, forced, mask) == expected
+
+    def test_cone_kernel_cached(self, c17_circuit):
+        cc = compile_circuit(c17_circuit)
+        index = cc.net_index["G11"]
+        assert cc.cone_kernel(index) is cc.cone_kernel(index)
+
+    def test_codegen_flag_and_width_recorded(self, c17_circuit):
+        cc = compile_circuit(c17_circuit)
+        assert cc.codegen and cc.word_bits == DEFAULT_WORD_BITS
+        baseline = compile_circuit(c17_circuit, word_bits=WORD_BITS, codegen=False)
+        assert not baseline.codegen and baseline.word_bits == WORD_BITS
+
+    def test_interp_engine_dispatch(self, c17_circuit):
+        """engine="interp" runs the packed interpreter baseline."""
+        patterns = exhaustive_patterns(c17_circuit)
+        faults = list(stuck_at_universe(c17_circuit))
+        packed = simulate_stuck_at(c17_circuit, patterns, faults)
+        interp = simulate_stuck_at(c17_circuit, patterns, faults, engine="interp")
+        assert packed.detections == interp.detections
+
+    def test_wrapper_reuses_prebuilt_compiled(self, c17_circuit):
+        patterns = exhaustive_patterns(c17_circuit)
+        faults = list(stuck_at_universe(c17_circuit))
+        cc = compile_circuit(c17_circuit, word_bits=16)
+        via_wrapper = simulate_stuck_at(c17_circuit, patterns, faults, compiled=cc)
+        direct = packed_simulate_stuck_at(c17_circuit, patterns, faults, compiled=cc)
+        assert via_wrapper.detections == direct.detections
+
+    def test_conflicting_compiled_and_word_bits_rejected(self, c17_circuit):
+        patterns = exhaustive_patterns(c17_circuit)
+        faults = list(stuck_at_universe(c17_circuit))
+        cc = compile_circuit(c17_circuit, word_bits=16)
+        with pytest.raises(LogicCircuitError, match="conflicts"):
+            packed_simulate_stuck_at(
+                c17_circuit, patterns, faults, compiled=cc, word_bits=64
+            )
+        # Agreement is fine.
+        rep = packed_simulate_stuck_at(
+            c17_circuit, patterns, faults, compiled=cc, word_bits=16
+        )
+        assert rep.num_tests == len(patterns)
+
+
+# --------------------------------------------------------------------------- #
+# Engine parity across word widths: generated code vs interpreter vs serial,
+# all four fault models, including ragged final blocks and fault dropping.
+# --------------------------------------------------------------------------- #
+#: 130 tests make ragged final blocks at 64 (2 full + 2 left) and 1000
+#: (one short block), and 130 single-pattern blocks at width 1.
+_PARITY_TESTS = 130
+
+
+@pytest.mark.parametrize("word_bits", [1, 64, 256, 1000])
+@pytest.mark.parametrize("drop", [False, True])
+def test_engine_parity_all_models_across_widths(word_bits, drop):
+    circuit = random_circuit(97, 5, 18)
+    patterns = random_patterns(circuit, _PARITY_TESTS, seed=7)
+    pairs = random_pairs(circuit, _PARITY_TESTS, seed=8)
+    engines = (
+        compile_circuit(circuit, word_bits=word_bits),
+        compile_circuit(circuit, word_bits=word_bits, codegen=False),
+    )
+    models = [
+        (packed_simulate_stuck_at, serial_simulate_stuck_at,
+         patterns, list(stuck_at_universe(circuit))),
+        (packed_simulate_transition, serial_simulate_transition,
+         pairs, list(transition_fault_universe(circuit))),
+        (packed_simulate_path_delay, serial_simulate_path_delay,
+         pairs, list(path_delay_universe(circuit, limit=60))),
+        (packed_simulate_obd, serial_simulate_obd,
+         pairs, list(obd_fault_universe(circuit))),
+    ]
+    for packed_fn, serial_fn, tests, faults in models:
+        serial = serial_fn(circuit, tests, faults, drop_detected=drop)
+        for cc in engines:
+            packed = packed_fn(circuit, tests, faults, drop_detected=drop, compiled=cc)
+            assert packed.detections == serial.detections
+            assert packed.num_tests == serial.num_tests
 
 
 # --------------------------------------------------------------------------- #
