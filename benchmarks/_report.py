@@ -35,12 +35,15 @@ def record_faultsim(
     num_tests: int,
     seconds: float,
     word_bits: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> float:
     """Record one fault-simulation measurement; returns fault-tests/second.
 
     ``engine`` is one of ``"codegen"`` / ``"interp"`` / ``"serial"``;
     ``family`` is the circuit family (``"rdag"``, ``"mult"``, ``"rca"``, ...)
-    so trend tooling can group workloads across PRs.
+    so trend tooling can group workloads across PRs.  ``workers`` is the
+    process count of a sharded-campaign measurement (None for single-process
+    engine runs), giving the JSON a workers axis for the scale trajectory.
     """
     throughput = (num_faults * num_tests / seconds) if seconds > 0 else float("inf")
     _FAULTSIM_RECORDS.append(
@@ -54,6 +57,7 @@ def record_faultsim(
             "seconds": seconds,
             "fault_tests_per_second": throughput,
             "word_bits": word_bits,
+            "workers": workers,
         }
     )
     return throughput
@@ -72,7 +76,13 @@ def write_faultsim_report(path: Optional[str] = None) -> Optional[str]:
         "schema": "repro/faultsim-bench/1",
         "records": sorted(
             _FAULTSIM_RECORDS,
-            key=lambda r: (r["family"], r["circuit"], r["model"], r["engine"]),
+            key=lambda r: (
+                r["family"],
+                r["circuit"],
+                r["model"],
+                r["engine"],
+                r.get("workers") or 0,
+            ),
         ),
     }
     with open(path, "w", encoding="utf-8") as handle:

@@ -1,6 +1,6 @@
 """Fault-simulation engine benchmarks: serial vs interpreter vs generated code.
 
-Two benchmark groups:
+Three benchmark groups:
 
 * ``parallel-fault-sim`` -- the packed engine (now generated code at the
   default ``word_bits``) must beat the serial reference engine by at least an
@@ -11,6 +11,14 @@ Two benchmark groups:
   the legacy 64-bit width) by ``REPRO_BENCH_CODEGEN_MIN`` (default 5x) on
   the random-DAG and array-multiplier workloads, with detections
   bit-identical to the serial reference.
+* ``sharded-campaign`` -- the multi-process sharded executor must scale the
+  full stuck-at campaign (pattern phase + PODEM top-up) on the random-DAG
+  workload: with 4 workers, campaign throughput (patterns x faults / s over
+  the merged test list) must reach ``REPRO_BENCH_SHARD_MIN_4W`` (default 2x)
+  of the single-process run, with results bit-identical.  Every workers
+  point is recorded to the JSON; the speedup floors are only *asserted* when
+  the machine actually has that many CPUs (a 1-core container still checks
+  determinism and records the axis, it just cannot prove a speedup).
 
 Every measurement is recorded via :func:`_report.record_faultsim`, and the
 session conftest writes them to ``BENCH_faultsim.json`` for CI to archive.
@@ -19,7 +27,11 @@ CI smoke mode: set ``REPRO_BENCH_BITS`` / ``REPRO_BENCH_TESTS`` (e.g. 4 / 64)
 to shrink the adder workload, ``REPRO_BENCH_RDAG`` / ``REPRO_BENCH_MULT`` /
 ``REPRO_BENCH_CODEGEN_TESTS`` to shrink the codegen workloads, and
 ``REPRO_BENCH_CODEGEN_MIN`` (e.g. 1.0) to relax the speedup floor so the
-smoke only fails when codegen is *slower* than the interpreter.
+smoke only fails when codegen is *slower* than the interpreter.  For the
+sharded group, ``REPRO_BENCH_SHARDS`` picks the workers axis (e.g. ``2`` or
+``2,4``), ``REPRO_BENCH_SHARD_MIN`` the floor for the largest worker count
+(e.g. CI asserts 1.5x at 2 workers) and ``REPRO_BENCH_SHARD_PATTERNS`` the
+pattern-phase size.
 """
 
 from __future__ import annotations
@@ -67,6 +79,23 @@ CODEGEN_MIN = float(os.environ.get("REPRO_BENCH_CODEGEN_MIN", "5.0"))
 #: Pattern-prefix length for the serial bit-identity cross-check (the serial
 #: engine is orders of magnitude slower, so it checks a prefix).
 SERIAL_CHECK = int(os.environ.get("REPRO_BENCH_SERIAL_CHECK", "64"))
+
+#: Sharded-campaign workers axis (comma-separated; 1 is always measured).
+SHARD_WORKERS = tuple(
+    int(w) for w in os.environ.get("REPRO_BENCH_SHARDS", "2,4").split(",") if w
+)
+#: Speedup floor asserted at the *largest* measured worker count, provided
+#: the machine has that many CPUs.  The acceptance criterion is 2x at 4
+#: workers; the CI smoke asserts 1.5x at 2 workers.
+SHARD_MIN = float(
+    os.environ.get(
+        "REPRO_BENCH_SHARD_MIN",
+        "2.0" if max(SHARD_WORKERS, default=1) >= 4 else "1.5",
+    )
+)
+#: Pattern-phase size of the sharded campaign workload (the PODEM top-up of
+#: the leftover faults is what actually dominates and parallelizes).
+SHARD_PATTERNS = int(os.environ.get("REPRO_BENCH_SHARD_PATTERNS", "64"))
 
 
 @pytest.fixture(scope="module")
@@ -271,3 +300,105 @@ def test_codegen_speedup_over_interpreter(ref, benchmark):
     rows.append(f"  combined speedup {speedup:.1f}x (floor {CODEGEN_MIN}x)")
     report(rows)
     assert speedup >= CODEGEN_MIN
+
+
+# --------------------------------------------------------------------------- #
+# Sharded multi-process campaign execution (the PR-5 tentpole criterion).
+# --------------------------------------------------------------------------- #
+@pytest.mark.benchmark(group="sharded-campaign")
+def test_sharded_campaign_speedup(benchmark):
+    """Workers axis of the full stuck-at campaign on the random-DAG workload.
+
+    Measures the single-process ``Campaign.run`` and the sharded executor at
+    every worker count in ``SHARD_WORKERS``, asserts bit-identical results
+    throughout, records one ``workers``-tagged entry per point, and -- when
+    the host actually has enough CPUs -- asserts the speedup floor at the
+    largest worker count.
+    """
+    from repro.campaign import Campaign, CampaignSpec, run_sharded_campaign
+
+    spec = CampaignSpec(
+        model="stuck-at",
+        circuit=RDAG_REF,
+        pattern_source="random",
+        pattern_count=SHARD_PATTERNS,
+        seed=21,
+        run_atpg=True,
+        compact=True,
+    )
+    family = RDAG_REF.split(":", 1)[0]
+
+    start = time.perf_counter()
+    base = Campaign(spec).run()
+    single_s = time.perf_counter() - start
+    num_faults = len(base.faults)
+    num_tests = base.merged_report.num_tests
+    base_payload = base.as_dict(include_runtime=False)
+    single_tput = record_faultsim(
+        circuit=RDAG_REF,
+        family=family,
+        engine="codegen",
+        model="stuck-at",
+        num_faults=num_faults,
+        num_tests=num_tests,
+        seconds=single_s,
+        workers=1,
+    )
+
+    cpus = os.cpu_count() or 1
+    rows = [
+        f"sharded      : stuck-at campaign on {RDAG_REF} "
+        f"({num_faults} faults, {SHARD_PATTERNS} patterns + ATPG top-up, {cpus} CPUs)",
+        f"  workers  1: {single_s * 1e3:8.1f} ms | {single_tput / 1e3:8.1f} Kfault-tests/s "
+        f"| speedup   1.00x (baseline)",
+    ]
+    speedups: dict[int, float] = {1: 1.0}
+    for workers in SHARD_WORKERS:
+        start = time.perf_counter()
+        sharded = run_sharded_campaign(spec=spec, shards=workers, max_workers=workers)
+        sharded_s = time.perf_counter() - start
+        assert sharded.as_dict(include_runtime=False) == base_payload
+        throughput = record_faultsim(
+            circuit=RDAG_REF,
+            family=family,
+            engine="codegen",
+            model="stuck-at",
+            num_faults=num_faults,
+            num_tests=num_tests,
+            seconds=sharded_s,
+            workers=workers,
+        )
+        speedups[workers] = single_s / sharded_s
+        rows.append(
+            f"  workers {workers:2d}: {sharded_s * 1e3:8.1f} ms | "
+            f"{throughput / 1e3:8.1f} Kfault-tests/s | speedup {speedups[workers]:6.2f}x"
+        )
+
+    top = max(SHARD_WORKERS, default=1)
+    # top == 1 means no multi-worker point was measured (REPRO_BENCH_SHARDS=1
+    # or empty): nothing to assert a speedup floor against.
+    if top > 1 and cpus >= top and SHARD_MIN > 0:
+        rows.append(f"  floor: {SHARD_MIN}x at {top} workers")
+        report(rows)
+        assert speedups[top] >= SHARD_MIN, (
+            f"sharded campaign at {top} workers only reached "
+            f"{speedups[top]:.2f}x over single-process (floor {SHARD_MIN}x)"
+        )
+    else:
+        if top <= 1:
+            reason = "no multi-worker point measured"
+        elif cpus < top:
+            reason = f"{cpus} CPUs < {top} workers"
+        else:
+            reason = "REPRO_BENCH_SHARD_MIN=0"
+        rows.append(
+            f"  floor: skipped ({reason} -- axis recorded, determinism asserted)"
+        )
+        report(rows)
+
+    benchmark.pedantic(
+        run_sharded_campaign,
+        kwargs={"spec": spec, "shards": top, "max_workers": top},
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,158 @@
+"""CLI for the sharded multi-process campaign executor and campaign suites.
+
+Single campaign, fault universe sharded across worker processes::
+
+    PYTHONPATH=src python examples/sharded_campaign.py \\
+        --circuit rdag:300,4 --model stuck-at --patterns 64 --shards 4
+
+Battery mode -- the circuits x models cross product over one shared pool,
+with a consolidated JSON/CSV report::
+
+    PYTHONPATH=src python examples/sharded_campaign.py \\
+        --suite --circuit rca:8 mult:4 cla:8 --model stuck-at transition \\
+        --patterns 32 --report-dir campaign_reports
+
+Sharded and unsharded runs are bit-identical; pass ``--verify`` to prove it
+on the spot (the single-process pipeline is re-run and the reports are
+compared field by field).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.campaign import (
+    Campaign,
+    CampaignError,
+    CampaignSpec,
+    CampaignSuite,
+    registered_models,
+    run_sharded_campaign,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Run fault-sharded test campaigns across worker processes."
+    )
+    parser.add_argument(
+        "--circuit", nargs="+", default=["rdag:300,4"],
+        help="circuit reference(s): registered name, family:args or .bench path",
+    )
+    parser.add_argument(
+        "--model", nargs="+", default=["stuck-at"], choices=registered_models(),
+        help="fault model(s); multiple values imply --suite",
+    )
+    parser.add_argument("--engine", default="packed",
+                        choices=("packed", "interp", "serial"))
+    parser.add_argument("--patterns", type=int, default=64,
+                        help="random pattern-phase size (0 disables the phase)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-atpg", action="store_true",
+                        help="skip the deterministic ATPG top-up phase")
+    parser.add_argument("--collapse", action="store_true",
+                        help="structurally collapse the fault universe")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="fault-universe partitions (= max worker processes)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default min(shards, cpus); 0 = inline)")
+    parser.add_argument("--suite", action="store_true",
+                        help="run the circuits x models battery over a shared pool")
+    parser.add_argument("--verify", action="store_true",
+                        help="re-run single-process and assert bit-identical results")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the single-campaign report JSON here")
+    parser.add_argument("--report-dir", metavar="DIR",
+                        help="suite mode: write suite_report.json/.csv here")
+    return parser
+
+
+def spec_from_args(args: argparse.Namespace, circuit: str, model: str) -> CampaignSpec:
+    return CampaignSpec(
+        model=model,
+        circuit=circuit,
+        pattern_source="random" if args.patterns else "none",
+        pattern_count=args.patterns,
+        seed=args.seed,
+        run_atpg=not args.no_atpg,
+        collapse=args.collapse,
+        engine=args.engine,
+        shards=args.shards,
+    )
+
+
+def run_single(args: argparse.Namespace) -> int:
+    spec = spec_from_args(args, args.circuit[0], args.model[0])
+    start = time.perf_counter()
+    result = run_sharded_campaign(spec=spec, max_workers=args.workers)
+    wall = time.perf_counter() - start
+    print(result.describe())
+    throughput = len(result.faults) * result.merged_report.num_tests / wall
+    print(f"  sharded wall time: {wall * 1e3:.1f} ms over {spec.shards} shard(s) "
+          f"({throughput / 1e3:.1f} Kfault-tests/s)")
+    if args.verify:
+        base = Campaign(spec).run()
+        same = base.as_dict(include_runtime=False) == result.as_dict(include_runtime=False)
+        print(f"  verify vs single-process: {'bit-identical' if same else 'MISMATCH'}")
+        if not same:
+            return 1
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json(indent=2) + "\n")
+        print(f"  report written to {args.json}")
+    return 0
+
+
+def run_suite(args: argparse.Namespace) -> int:
+    suite = CampaignSuite.cross(
+        args.circuit,
+        models=tuple(args.model),
+        engines=(args.engine,),
+        pattern_source="random" if args.patterns else "none",
+        pattern_count=args.patterns,
+        seed=args.seed,
+        run_atpg=not args.no_atpg,
+        collapse=args.collapse,
+        shards=args.shards,
+        max_workers=args.workers,
+    )
+    result = suite.run()
+    print(result.describe())
+    if args.verify:
+        mismatches = [
+            entry.spec.circuit
+            for entry in result.entries
+            if entry.ok
+            and Campaign(entry.spec).run().as_dict(include_runtime=False)
+            != entry.result.as_dict(include_runtime=False)
+        ]
+        print(
+            "  verify vs single-process: "
+            + ("bit-identical" if not mismatches else f"MISMATCH on {mismatches}")
+        )
+        if mismatches:
+            return 1
+    if args.report_dir:
+        json_path, csv_path = result.write_report(args.report_dir)
+        print(f"  consolidated report: {json_path} + {csv_path}")
+    else:
+        print(json.dumps(result.as_dict()["rows"][:3], indent=2))
+    return 0 if not result.failed else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.suite or len(args.circuit) > 1 or len(args.model) > 1:
+            return run_suite(args)
+        return run_single(args)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

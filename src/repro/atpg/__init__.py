@@ -55,7 +55,13 @@ first detection) in every engine with identical first-detection indices, at
 any ``word_bits``.
 """
 
-from .compaction import CompactionResult, compact_tests, greedy_compaction
+from .compaction import (
+    CompactionResult,
+    compact_tests,
+    concat_phase_reports,
+    greedy_compaction,
+    merge_fault_shards,
+)
 from .coverage import CoverageReport, coverage_from_report
 from .fault_sim import (
     DetectionReport,
@@ -73,8 +79,10 @@ from .fault_sim import (
     transition_fault_detected,
 )
 from .parallel_sim import (
+    PACKED_SIMULATORS,
     packed_simulate_obd,
     packed_simulate_path_delay,
+    packed_simulate_shard,
     packed_simulate_stuck_at,
     packed_simulate_transition,
 )
@@ -126,6 +134,8 @@ __all__ = [
     "packed_simulate_transition",
     "packed_simulate_path_delay",
     "packed_simulate_obd",
+    "packed_simulate_shard",
+    "PACKED_SIMULATORS",
     "simulate_with_forced_net",
     "transition_fault_detected",
     "path_delay_fault_detected",
@@ -137,6 +147,8 @@ __all__ = [
     "single_input_change_pairs",
     "greedy_compaction",
     "compact_tests",
+    "merge_fault_shards",
+    "concat_phase_reports",
     "CompactionResult",
     "CoverageReport",
     "coverage_from_report",

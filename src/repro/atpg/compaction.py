@@ -1,16 +1,86 @@
-"""Static test-set compaction (greedy set cover).
+"""Static test-set compaction (greedy set cover) and report merging.
 
 Used to reproduce the Section-4.3 statistic that a small subset of the
 possible input transitions (the paper quotes 18) suffices to detect every
 testable OBD fault of the full-adder example.
+
+The two merge helpers are the determinism backbone of the sharded campaign
+executor (:mod:`repro.campaign.sharded`): per-shard
+:class:`~repro.atpg.fault_sim.DetectionReport`\\ s are recombined into the
+single report the unsharded pipeline would have produced **before** the
+greedy cover runs, so compaction quality (and the selected test indices)
+are independent of how the fault universe was partitioned.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from .fault_sim import DetectionReport
+
+
+def merge_fault_shards(
+    reports: Sequence[DetectionReport],
+    fault_order: Iterable[str] | None = None,
+) -> DetectionReport:
+    """Union of reports over **disjoint fault shards** of one test list.
+
+    Every shard must have simulated the same tests (``num_tests`` must
+    agree) over a disjoint slice of the fault universe; the merged report
+    contains each fault's detection list unchanged.  *fault_order* restores
+    the original universe order of the detections dict (shards may have run
+    out of order), so downstream JSON reports are byte-identical to the
+    unsharded run; without it, shards are concatenated in the given order.
+    """
+    if not reports:
+        return DetectionReport(detections={}, num_tests=0)
+    num_tests = reports[0].num_tests
+    merged: dict[str, list[int]] = {}
+    for report in reports:
+        if report.num_tests != num_tests:
+            raise ValueError(
+                f"fault shards disagree on the test list: {report.num_tests} "
+                f"tests vs {num_tests}; shard merging needs one shared test list"
+            )
+        for key, indices in report.detections.items():
+            if key in merged:
+                raise ValueError(f"fault {key!r} appears in more than one shard")
+            merged[key] = list(indices)
+    if fault_order is None:
+        return DetectionReport(detections=merged, num_tests=num_tests)
+    ordered: dict[str, list[int]] = {}
+    for key in fault_order:
+        try:
+            ordered[key] = merged.pop(key)
+        except KeyError:
+            raise ValueError(f"fault {key!r} missing from every shard report") from None
+    if merged:
+        extra = next(iter(merged))
+        raise ValueError(f"fault {extra!r} not in the requested fault order")
+    return DetectionReport(detections=ordered, num_tests=num_tests)
+
+
+def concat_phase_reports(
+    fault_keys: Iterable[str],
+    reports: Sequence[DetectionReport],
+) -> DetectionReport:
+    """Concatenate per-phase reports into one test-index space.
+
+    Each report covers a (subset of the) same fault universe but a
+    *different* test list; test indices of later reports are offset by the
+    number of tests in earlier ones (pattern-phase tests first, then ATPG
+    tests -- the convention of :class:`~repro.campaign.CampaignResult`).
+    Faults absent from a report (e.g. dropped before the ATPG re-simulation)
+    simply contribute no indices from it.
+    """
+    detections: dict[str, list[int]] = {key: [] for key in fault_keys}
+    offset = 0
+    for report in reports:
+        for key, indices in report.detections.items():
+            detections[key].extend(offset + index for index in indices)
+        offset += report.num_tests
+    return DetectionReport(detections=detections, num_tests=offset)
 
 
 @dataclass(frozen=True)

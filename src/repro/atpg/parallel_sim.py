@@ -214,6 +214,49 @@ def packed_simulate_path_delay(
     return DetectionReport(detections=detections, num_tests=len(pairs))
 
 
+#: Per-model packed drivers keyed by fault-model registry name; the sharded
+#: campaign workers dispatch through this table instead of hard-coding one
+#: driver per model.
+PACKED_SIMULATORS: dict[str, object] = {}
+
+
+def packed_simulate_shard(
+    model: str,
+    circuit: LogicCircuit,
+    tests: Sequence,
+    faults: Iterable,
+    *,
+    compiled: CompiledCircuit | None = None,
+    drop_detected: bool = False,
+    word_bits: int | None = None,
+) -> DetectionReport:
+    """Packed simulation of one **fault sublist** for the named model.
+
+    This is the shard-aware entry point of the engine: pass the same
+    prebuilt *compiled* circuit for every shard and nothing per-circuit is
+    re-derived between calls -- the good-machine evaluator is reused as-is
+    and the per-cone kernels accumulate lazily in the
+    :class:`~repro.logic.compiled.CompiledCircuit` cache, so simulating a
+    fault universe in k slices costs the same kernel compilations as
+    simulating it whole.
+    """
+    try:
+        driver = PACKED_SIMULATORS[model]
+    except KeyError:
+        raise ValueError(
+            f"unknown packed fault-simulation model {model!r}; "
+            f"expected one of {tuple(sorted(PACKED_SIMULATORS))}"
+        ) from None
+    return driver(
+        circuit,
+        tests,
+        faults,
+        drop_detected=drop_detected,
+        compiled=compiled,
+        word_bits=word_bits,
+    )
+
+
 def packed_simulate_obd(
     circuit: LogicCircuit,
     pairs: Sequence[PatternPair],
@@ -266,3 +309,13 @@ def packed_simulate_obd(
             if detected:
                 _record(detections, remaining, key, base, detected, drop_detected)
     return DetectionReport(detections=detections, num_tests=len(pairs))
+
+
+PACKED_SIMULATORS.update(
+    {
+        "stuck-at": packed_simulate_stuck_at,
+        "transition": packed_simulate_transition,
+        "path-delay": packed_simulate_path_delay,
+        "obd": packed_simulate_obd,
+    }
+)

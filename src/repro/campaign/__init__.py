@@ -18,6 +18,14 @@ this package exposes that flow as one declarative API:
   parametric references (``"rca:8"``, ``"mult:4"``, ``"rdag:40,7"``) and
   ``.bench`` file paths all resolve to a
   :class:`~repro.logic.netlist.LogicCircuit` workload.
+* :class:`ShardedCampaign` / :func:`run_sharded_campaign` -- the
+  multi-process executor: the fault universe is partitioned into contiguous
+  shards, pattern simulation and ATPG run per shard in a process pool, and
+  per-shard reports merge back into a result bit-identical to
+  :meth:`Campaign.run`.
+* :class:`CampaignSuite` / :func:`run_campaign_suite` -- batteries of
+  campaigns (e.g. the circuits x models x engines cross product) over one
+  shared worker pool, with a consolidated JSON / CSV report.
 
 The per-model free functions in :mod:`repro.atpg` (``simulate_stuck_at``,
 ``run_obd_atpg``, ...) remain as thin compatibility wrappers over this
@@ -34,6 +42,7 @@ from .circuits import (
     register_circuit,
     resolve_circuit,
 )
+from .errors import CampaignError
 from .model import (
     SINGLE_PATTERN,
     TWO_PATTERN,
@@ -48,11 +57,22 @@ from .runner import (
     PATTERN_SOURCES,
     AtpgPhaseResult,
     Campaign,
-    CampaignError,
     CampaignResult,
     CampaignSpec,
     PatternPhaseResult,
     run_campaign,
+)
+from .sharded import (
+    InlineExecutor,
+    ShardedCampaign,
+    partition_faults,
+    run_sharded_campaign,
+)
+from .suite import (
+    CampaignSuite,
+    SuiteEntry,
+    SuiteResult,
+    run_campaign_suite,
 )
 
 __all__ = [
@@ -78,4 +98,12 @@ __all__ = [
     "PatternPhaseResult",
     "AtpgPhaseResult",
     "run_campaign",
+    "ShardedCampaign",
+    "InlineExecutor",
+    "partition_faults",
+    "run_sharded_campaign",
+    "CampaignSuite",
+    "SuiteEntry",
+    "SuiteResult",
+    "run_campaign_suite",
 ]

@@ -40,6 +40,7 @@ from ..logic.generators import (
     random_dag,
 )
 from ..logic.netlist import LogicCircuit
+from .errors import CampaignError
 
 CircuitBuilder = Callable[..., LogicCircuit]
 
@@ -80,51 +81,55 @@ def resolve_circuit(ref: str | os.PathLike | LogicCircuit) -> LogicCircuit:
 
     A :class:`LogicCircuit` passes through unchanged, so callers can accept
     either form; ``.bench`` paths may be strings or path objects (e.g. the
-    return value of :func:`~repro.logic.bench.save_bench`).  Unknown
-    references raise :class:`ValueError` listing the registered names.
+    return value of :func:`~repro.logic.bench.save_bench`).  Unknown or
+    malformed references raise :class:`~repro.campaign.errors.CampaignError`
+    (a :class:`ValueError` subclass) with an actionable message listing the
+    registered names; degenerate builder sizes (``"mult:0"``) surface the
+    builder's own :class:`~repro.logic.netlist.LogicCircuitError`.  Neither
+    ``FileNotFoundError`` nor a bare ``ValueError`` ever escapes.
     """
     if isinstance(ref, LogicCircuit):
         return ref
     if isinstance(ref, os.PathLike):
         ref = os.fspath(ref)
     if not isinstance(ref, str):
-        raise ValueError(f"expected a circuit name or LogicCircuit, got {type(ref).__name__}")
+        raise CampaignError(f"expected a circuit name or LogicCircuit, got {type(ref).__name__}")
     if ref.endswith(".bench"):
         path = Path(ref)
         if not path.exists():
-            raise ValueError(f"no .bench file at {ref!r}")
+            raise CampaignError(f"no .bench file at {ref!r}")
         try:
             return load_bench(path)
         except (OSError, UnicodeDecodeError) as exc:
             # Directories, unreadable files, binary junk: keep the promise
-            # that a bad circuit reference surfaces as ValueError upward
-            # (and hence CampaignError out of Campaign.run).
-            raise ValueError(f"cannot read .bench file {ref!r}: {exc}") from None
+            # that a bad circuit reference surfaces as CampaignError, never
+            # a raw OSError.
+            raise CampaignError(f"cannot read .bench file {ref!r}: {exc}") from None
     name, _, arg_text = ref.partition(":")
     if not arg_text:
         if name in _NAMED:
             return _NAMED[name]()
         if name in _PARAMETRIC:
-            raise ValueError(
+            raise CampaignError(
                 f"circuit family {name!r} needs arguments, e.g. {name + ':4'!r}"
             )
     else:
         if name not in _PARAMETRIC:
-            raise ValueError(f"unknown parametric circuit family {name!r}")
+            raise CampaignError(f"unknown parametric circuit family {name!r}")
         builder, min_args, max_args = _PARAMETRIC[name]
         try:
             args = [int(a) for a in arg_text.split(",")]
         except ValueError:
-            raise ValueError(
+            raise CampaignError(
                 f"arguments of circuit reference {ref!r} must be integers"
             ) from None
         if not min_args <= len(args) <= max_args:
-            raise ValueError(
+            raise CampaignError(
                 f"circuit family {name!r} takes between {min_args} and {max_args} "
                 f"argument(s), got {len(args)}"
             )
         return builder(*args)
-    raise ValueError(
+    raise CampaignError(
         f"unknown circuit reference {ref!r}; registered: {', '.join(circuit_names())} "
         f"(or a path ending in .bench)"
     )

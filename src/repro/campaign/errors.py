@@ -1,0 +1,16 @@
+"""Campaign-layer error type.
+
+Lives in its own module so :mod:`~repro.campaign.circuits`,
+:mod:`~repro.campaign.runner`, :mod:`~repro.campaign.sharded` and
+:mod:`~repro.campaign.suite` can all raise it without import cycles.
+"""
+
+from __future__ import annotations
+
+
+class CampaignError(ValueError):
+    """An invalid campaign specification or circuit reference.
+
+    Subclasses :class:`ValueError` so callers that predate the campaign
+    layer (and catch ``ValueError``) keep working.
+    """

@@ -13,12 +13,13 @@ compact the combined test set, and report per-phase coverage -- and
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Optional
+from typing import Any, Iterable, Optional, Sequence
 
-from ..atpg.compaction import CompactionResult, greedy_compaction
+from ..atpg.compaction import CompactionResult, concat_phase_reports, greedy_compaction
 from ..atpg.coverage import CoverageReport, coverage_from_report
 from ..atpg.fault_sim import DetectionReport, _check_engine
 from ..atpg.podem import PodemOptions
@@ -33,14 +34,11 @@ from ..faults.base import FaultList
 from ..logic.compiled import DEFAULT_WORD_BITS, WORD_BITS, CompiledCircuit, compile_circuit
 from ..logic.netlist import CircuitStats, LogicCircuit, LogicCircuitError
 from .circuits import resolve_circuit
+from .errors import CampaignError
 from .model import TWO_PATTERN, AtpgOutcome, FaultModel, get_model
 
 #: Accepted ``CampaignSpec.pattern_source`` values.
 PATTERN_SOURCES = ("none", "random", "exhaustive", "sic")
-
-
-class CampaignError(ValueError):
-    """An invalid campaign specification."""
 
 
 @dataclass
@@ -72,6 +70,14 @@ class CampaignSpec:
     for interp).  The circuit is compiled once per campaign and the same
     :class:`~repro.logic.compiled.CompiledCircuit` drives the pattern phase,
     the ATPG top-up re-simulation and everything downstream of them.
+
+    ``shards`` is the default fault-universe partition count used by the
+    multi-process executor (:class:`~repro.campaign.sharded.ShardedCampaign`);
+    the single-process :class:`Campaign` ignores it.  Sharded and unsharded
+    runs of the same spec produce bit-identical results.
+
+    The spec validates itself on construction, so a bad field fails fast at
+    the call site instead of mid-run.
     """
 
     model: str = "stuck-at"
@@ -87,6 +93,10 @@ class CampaignSpec:
     drop_detected: bool = False
     engine: str = "packed"
     word_bits: Optional[int] = None
+    shards: int = 1
+
+    def __post_init__(self) -> None:
+        self.validate()
 
     def validate(self) -> None:
         if self.pattern_source not in PATTERN_SOURCES:
@@ -99,7 +109,21 @@ class CampaignSpec:
             raise CampaignError("campaign has no test phase: set pattern_source or run_atpg")
         if self.word_bits is not None and self.word_bits < 1:
             raise CampaignError(f"word_bits must be >= 1, got {self.word_bits}")
-        _check_engine(self.engine)
+        if self.shards < 1:
+            raise CampaignError(f"shards must be >= 1, got {self.shards}")
+        try:
+            _check_engine(self.engine)
+        except ValueError as exc:
+            raise CampaignError(str(exc)) from None
+        try:
+            model = get_model(self.model)
+        except KeyError as exc:
+            raise CampaignError(exc.args[0]) from None
+        if self.pattern_source == "sic" and model.pattern_kind != TWO_PATTERN:
+            raise CampaignError(
+                f"pattern_source='sic' (single-input-change pairs) needs a "
+                f"two-pattern model, but model={self.model!r} is single-pattern"
+            )
 
 
 @dataclass
@@ -251,8 +275,14 @@ class CampaignResult:
         lines.append(f"  runtime: {self.runtime * 1e3:.1f} ms")
         return "\n".join(lines)
 
-    def as_dict(self) -> dict[str, Any]:
-        """JSON-serializable summary of the campaign."""
+    def as_dict(self, include_runtime: bool = True) -> dict[str, Any]:
+        """JSON-serializable summary of the campaign.
+
+        ``include_runtime=False`` omits the wall-clock fields (``runtime_s``,
+        ``generation_runtime_s``) so two runs of the same spec -- e.g. a
+        sharded and an unsharded execution, or a run against a golden file --
+        compare byte-identical.
+        """
         spec = self.spec
         payload: dict[str, Any] = {
             "model": self.model_name,
@@ -271,6 +301,7 @@ class CampaignResult:
                     "drop_detected": spec.drop_detected,
                     "engine": spec.engine,
                     "word_bits": spec.word_bits,
+                    "shards": spec.shards,
                 }
             ),
             "circuit_stats": {
@@ -289,15 +320,17 @@ class CampaignResult:
             "uncollapsed_faults": self.uncollapsed_faults,
             "coverage": _coverage_dict(self.coverage),
             "detections": {key: list(indices) for key, indices in self.detections.items()},
-            "runtime_s": self.runtime,
         }
+        if include_runtime:
+            payload["runtime_s"] = self.runtime
         if self.pattern_phase is not None:
             payload["pattern_phase"] = {
                 "source": self.pattern_phase.source,
                 "num_tests": len(self.pattern_phase.tests),
                 "coverage": _coverage_dict(self.pattern_phase.coverage),
-                "runtime_s": self.pattern_phase.runtime,
             }
+            if include_runtime:
+                payload["pattern_phase"]["runtime_s"] = self.pattern_phase.runtime
         if self.atpg_phase is not None:
             a = self.atpg_phase
             payload["atpg_phase"] = {
@@ -309,9 +342,10 @@ class CampaignResult:
                 "backtracks": a.backtracks,
                 "num_tests": len(a.tests),
                 "coverage": _coverage_dict(a.coverage),
-                "runtime_s": a.runtime,
-                "generation_runtime_s": a.generation_runtime,
             }
+            if include_runtime:
+                payload["atpg_phase"]["runtime_s"] = a.runtime
+                payload["atpg_phase"]["generation_runtime_s"] = a.generation_runtime
         if self.compaction is not None:
             payload["compaction"] = {
                 "selected_indices": list(self.compaction.selected_indices),
@@ -322,8 +356,8 @@ class CampaignResult:
             }
         return payload
 
-    def to_json(self, indent: int | None = None) -> str:
-        return json.dumps(self.as_dict(), indent=indent)
+    def to_json(self, indent: int | None = None, include_runtime: bool = True) -> str:
+        return json.dumps(self.as_dict(include_runtime=include_runtime), indent=indent)
 
 
 def _coverage_dict(report: CoverageReport) -> dict[str, Any]:
@@ -349,16 +383,153 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
+# --------------------------------------------------------------------------- #
+# Pure pipeline pieces.
+#
+# These are module-level (hence picklable) and side-effect free so the
+# multi-process sharded executor (repro.campaign.sharded) can run them in
+# worker processes and still produce results bit-identical to Campaign.run.
+# --------------------------------------------------------------------------- #
+def resolve_campaign_circuit(
+    circuit: LogicCircuit | str | os.PathLike | None,
+    spec: CampaignSpec,
+) -> LogicCircuit:
+    """Resolve the run() argument or the spec's ``circuit`` field.
+
+    Normalizes everything a bad circuit reference can produce (builder
+    errors, malformed ``.bench`` files, unknown names) to
+    :class:`CampaignError`.
+    """
+    if circuit is None:
+        if spec.circuit is None:
+            raise CampaignError("no circuit: pass one to run() or set CampaignSpec.circuit")
+        circuit = spec.circuit
+    try:
+        return resolve_circuit(circuit)
+    except (ValueError, LogicCircuitError) as exc:
+        raise CampaignError(str(exc)) from None
+
+
+def compile_for_engine(
+    circuit: LogicCircuit, engine: str, word_bits: int | None
+) -> CompiledCircuit | None:
+    """One compile per campaign (or per worker process) for the spec's engine.
+
+    Codegen for ``"packed"``, the interpreter baseline at the legacy width
+    for ``"interp"``; the serial engine needs no compiled circuit at all.
+    """
+    if engine == "serial":
+        return None
+    codegen = engine == "packed"
+    bits = word_bits or (DEFAULT_WORD_BITS if codegen else WORD_BITS)
+    return compile_circuit(circuit, word_bits=bits, codegen=codegen)
+
+
+def generate_atpg_outcomes(
+    model: FaultModel,
+    circuit: LogicCircuit,
+    faults: Iterable,
+    detected: set[str],
+    options: Optional[PodemOptions] = None,
+) -> tuple[list[AtpgOutcome], list[str]]:
+    """Deterministic ATPG over *faults*, skipping already-*detected* keys.
+
+    Returns (outcomes for the attempted faults, skipped fault keys), both in
+    universe order -- the invariant that makes fault-sharded generation
+    merge back into exactly the single-process test list.
+    """
+    outcomes: list[AtpgOutcome] = []
+    skipped: list[str] = []
+    for fault in faults:
+        if fault.key in detected:
+            skipped.append(fault.key)
+            continue
+        outcomes.append(model.generate_test(circuit, fault, options=options))
+    return outcomes, skipped
+
+
+def build_atpg_phase(
+    model_name: str,
+    num_faults: int,
+    outcomes: list[AtpgOutcome],
+    skipped: Sequence[str],
+    report: DetectionReport,
+    runtime: float,
+    generation_runtime: float,
+) -> AtpgPhaseResult:
+    """Assemble the ATPG phase record from its parts (shared with sharding)."""
+    atpg_tests = [test for outcome in outcomes for test in outcome.tests]
+    untestable = sum(1 for o in outcomes if o.untestable)
+    aborted = sum(1 for o in outcomes if not o.success and o.aborted)
+    return AtpgPhaseResult(
+        outcomes=outcomes,
+        skipped=tuple(skipped),
+        tests=atpg_tests,
+        report=report,
+        coverage=CoverageReport(
+            model=model_name,
+            total_faults=num_faults,
+            detected=len(report.detected_faults),
+            untestable=untestable,
+            aborted=aborted,
+            num_tests=len(atpg_tests),
+        ),
+        runtime=runtime,
+        generation_runtime=generation_runtime,
+    )
+
+
+def assemble_result(
+    spec: CampaignSpec,
+    model: FaultModel,
+    circuit: LogicCircuit,
+    universe: FaultList,
+    faults: FaultList,
+    pattern_phase: Optional[PatternPhaseResult],
+    atpg_phase: Optional[AtpgPhaseResult],
+    runtime: float,
+) -> CampaignResult:
+    """Merge phases, compact, and build the final :class:`CampaignResult`.
+
+    Both the single-process and the sharded executor end here, so report
+    merging and compaction behave identically no matter how the phases were
+    computed.
+    """
+    merged_report = concat_phase_reports(
+        faults.keys(), [p.report for p in (pattern_phase, atpg_phase) if p is not None]
+    )
+    merged_tests = (pattern_phase.tests if pattern_phase else []) + (
+        atpg_phase.tests if atpg_phase else []
+    )
+    compaction = compacted_tests = None
+    if spec.compact:
+        compaction = greedy_compaction(merged_report)
+        compacted_tests = [merged_tests[i] for i in compaction.selected_indices]
+    return CampaignResult(
+        spec=spec,
+        model_name=model.name,
+        circuit_name=circuit.name,
+        circuit_stats=circuit.stats(),
+        faults=faults,
+        uncollapsed_faults=len(universe),
+        pattern_phase=pattern_phase,
+        atpg_phase=atpg_phase,
+        tests=merged_tests,
+        merged_report=merged_report,
+        compaction=compaction,
+        compacted_tests=compacted_tests,
+        runtime=runtime,
+    )
+
+
 class Campaign:
     """Executable form of a :class:`CampaignSpec` for any registered model."""
 
     def __init__(self, spec: CampaignSpec):
+        # Re-validate in case the spec was mutated after construction.
         spec.validate()
         self.spec = spec
-        try:
-            self.model: FaultModel = get_model(spec.model)
-        except KeyError as exc:
-            raise CampaignError(exc.args[0]) from None
+        self.model: FaultModel = get_model(spec.model)
 
     # ------------------------------------------------------------------ #
     # Pattern sources.
@@ -393,29 +564,13 @@ class Campaign:
         path), or None to use the spec's ``circuit`` field.
         """
         spec, model = self.spec, self.model
-        if circuit is None:
-            if spec.circuit is None:
-                raise CampaignError(
-                    "no circuit: pass one to run() or set CampaignSpec.circuit"
-                )
-            circuit = spec.circuit
-        try:
-            circuit = resolve_circuit(circuit)
-        except (ValueError, LogicCircuitError) as exc:
-            # Builders raise LogicCircuitError (degenerate generator sizes,
-            # malformed .bench files); normalize everything a bad circuit
-            # reference can produce to the campaign's own error type.
-            raise CampaignError(str(exc)) from None
+        circuit = resolve_campaign_circuit(circuit, spec)
         start = time.perf_counter()
 
         # One compile per campaign: every phase's fault simulation reuses the
         # same CompiledCircuit (codegen for "packed", interpreter baseline at
         # the legacy width for "interp"; the serial engine needs none).
-        compiled: CompiledCircuit | None = None
-        if spec.engine != "serial":
-            codegen = spec.engine == "packed"
-            word_bits = spec.word_bits or (DEFAULT_WORD_BITS if codegen else WORD_BITS)
-            compiled = compile_circuit(circuit, word_bits=word_bits, codegen=codegen)
+        compiled = compile_for_engine(circuit, spec.engine, spec.word_bits)
 
         universe = model.build_universe(circuit, **spec.universe_options)
         faults = model.collapse(circuit, universe) if spec.collapse else universe
@@ -441,13 +596,9 @@ class Campaign:
         atpg_phase: AtpgPhaseResult | None = None
         if spec.run_atpg:
             t0 = time.perf_counter()
-            skipped: list[str] = []
-            outcomes: list[AtpgOutcome] = []
-            for fault in faults:
-                if fault.key in detected:
-                    skipped.append(fault.key)
-                    continue
-                outcomes.append(model.generate_test(circuit, fault, options=spec.podem_options))
+            outcomes, skipped = generate_atpg_outcomes(
+                model, circuit, faults, detected, spec.podem_options
+            )
             generation_runtime = time.perf_counter() - t0
             atpg_tests = [test for outcome in outcomes for test in outcome.tests]
             # With dropping on, faults the pattern phase already detected are
@@ -462,64 +613,27 @@ class Campaign:
                 circuit, atpg_tests, sim_faults, drop_detected=spec.drop_detected,
                 engine=spec.engine, compiled=compiled,
             )
-            untestable = sum(1 for o in outcomes if o.untestable)
-            aborted = sum(1 for o in outcomes if not o.success and o.aborted)
-            atpg_phase = AtpgPhaseResult(
-                outcomes=outcomes,
-                skipped=tuple(skipped),
-                tests=atpg_tests,
-                report=report,
-                coverage=CoverageReport(
-                    model=model.name,
-                    total_faults=len(faults),
-                    detected=len(report.detected_faults),
-                    untestable=untestable,
-                    aborted=aborted,
-                    num_tests=len(atpg_tests),
-                ),
+            atpg_phase = build_atpg_phase(
+                model.name,
+                len(faults),
+                outcomes,
+                skipped,
+                report,
                 runtime=time.perf_counter() - t0,
                 generation_runtime=generation_runtime,
             )
             detected.update(report.detected_faults)
 
-        merged_report = _merge_reports(
-            faults, [p.report for p in (pattern_phase, atpg_phase) if p is not None]
-        )
-        merged_tests = (pattern_phase.tests if pattern_phase else []) + (
-            atpg_phase.tests if atpg_phase else []
-        )
-
-        compaction = compacted_tests = None
-        if spec.compact:
-            compaction = greedy_compaction(merged_report)
-            compacted_tests = [merged_tests[i] for i in compaction.selected_indices]
-
-        return CampaignResult(
-            spec=spec,
-            model_name=model.name,
-            circuit_name=circuit.name,
-            circuit_stats=circuit.stats(),
-            faults=faults,
-            uncollapsed_faults=len(universe),
-            pattern_phase=pattern_phase,
-            atpg_phase=atpg_phase,
-            tests=merged_tests,
-            merged_report=merged_report,
-            compaction=compaction,
-            compacted_tests=compacted_tests,
+        return assemble_result(
+            spec,
+            model,
+            circuit,
+            universe,
+            faults,
+            pattern_phase,
+            atpg_phase,
             runtime=time.perf_counter() - start,
         )
-
-
-def _merge_reports(faults: FaultList, reports: list[DetectionReport]) -> DetectionReport:
-    """Concatenate per-phase reports into one index space (pattern tests first)."""
-    detections: dict[str, list[int]] = {key: [] for key in faults.keys()}
-    offset = 0
-    for report in reports:
-        for key, indices in report.detections.items():
-            detections[key].extend(offset + index for index in indices)
-        offset += report.num_tests
-    return DetectionReport(detections=detections, num_tests=offset)
 
 
 def run_campaign(

@@ -1,0 +1,377 @@
+"""Multi-process sharded campaign execution.
+
+The campaign pipeline is embarrassingly parallel across the fault universe:
+every fault's pattern-phase detection list, ATPG attempt and re-simulation
+result depend only on that fault (and the shared test lists), never on other
+faults.  :class:`ShardedCampaign` exploits this by partitioning the
+(collapsed) universe into contiguous shards and running two worker rounds in
+a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+1. **pattern + generate** -- each shard fault-simulates the shared pattern
+   tests over its fault slice and runs deterministic ATPG for its still
+   undetected faults;
+2. **re-simulate** -- the per-shard ATPG tests are concatenated in shard
+   order (identical to the single-process test list, because shards are
+   contiguous in universe order) and every shard re-simulates the full
+   merged ATPG test list over its fault slice.
+
+Per-shard :class:`~repro.atpg.fault_sim.DetectionReport`\\ s are merged back
+in universe order (:func:`repro.atpg.compaction.merge_fault_shards`)
+**before** greedy compaction runs, so the final
+:class:`~repro.campaign.runner.CampaignResult` -- coverage, detection
+indices, test lists, compacted subset, JSON report -- is bit-identical to
+:meth:`Campaign.run <repro.campaign.runner.Campaign.run>` for every fault
+model, engine, ``drop_detected`` setting and shard count (ragged or empty
+final shards included).  The property suite in ``tests/test_properties.py``
+asserts exactly this.
+
+Each worker process compiles the circuit once per campaign (keyed by a run
+token) and reuses the same :class:`~repro.logic.compiled.CompiledCircuit`
+for both rounds, so sharding adds one compile per worker, not per task.
+Workers receive plain picklable payloads (the netlist, fault dataclasses,
+test tuples); compiled circuits never cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from concurrent.futures import Executor, Future, ProcessPoolExecutor
+from typing import Optional, Sequence
+
+from ..atpg.compaction import merge_fault_shards
+from ..atpg.coverage import coverage_from_report
+from ..atpg.fault_sim import DetectionReport
+from ..atpg.parallel_sim import packed_simulate_shard
+from ..atpg.podem import PodemOptions
+from ..faults.base import Fault, FaultList
+from ..logic.netlist import LogicCircuit
+from .errors import CampaignError
+from .model import AtpgOutcome, FaultModel, get_model
+from .runner import (
+    Campaign,
+    CampaignResult,
+    CampaignSpec,
+    PatternPhaseResult,
+    assemble_result,
+    build_atpg_phase,
+    compile_for_engine,
+    generate_atpg_outcomes,
+    resolve_campaign_circuit,
+)
+
+
+class InlineExecutor(Executor):
+    """Run submitted calls immediately in the calling process.
+
+    Drop-in for :class:`~concurrent.futures.ProcessPoolExecutor` when
+    process startup is not worth it (tiny circuits, tests, single-CPU
+    boxes): the shard/merge pipeline is exercised unchanged, without
+    pickling or forking.
+    """
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # pragma: no cover - surfaced via .result()
+            future.set_exception(exc)
+        return future
+
+
+def partition_faults(faults: Sequence[Fault] | FaultList, shards: int) -> list[list[Fault]]:
+    """Contiguous fault shards in universe order; the final shard is ragged.
+
+    Chunks are ``ceil(n / shards)`` long, so with more shards than faults
+    the trailing shards come out empty -- callers skip those.  Contiguity in
+    universe order is what makes per-shard ATPG test lists concatenate into
+    exactly the single-process test list.
+    """
+    if shards < 1:
+        raise CampaignError(f"shards must be >= 1, got {shards}")
+    fault_list = list(faults)
+    size = -(-len(fault_list) // shards) if fault_list else 1
+    return [fault_list[i * size : (i + 1) * size] for i in range(shards)]
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side code.  Everything below runs inside pool processes; the
+# per-process compiled-circuit cache means each worker pays for codegen once
+# per campaign regardless of how many shard tasks it executes.
+# --------------------------------------------------------------------------- #
+_TOKENS = itertools.count()
+
+#: Per-worker-process cache: run token -> compiled circuit (or None for the
+#: serial engine).  Bounded so long-lived shared pools (CampaignSuite) do
+#: not accumulate one compiled circuit per finished campaign.
+_WORKER_COMPILED: dict[str, object] = {}
+_WORKER_CACHE_LIMIT = 8
+
+
+def _new_token() -> str:
+    """A campaign-run id that is unique across the parent process lifetime."""
+    return f"{os.getpid()}:{next(_TOKENS)}"
+
+
+def _worker_compiled(token: str, circuit: LogicCircuit, engine: str, word_bits: Optional[int]):
+    compiled = _WORKER_COMPILED.get(token, _WORKER_COMPILED)
+    if compiled is _WORKER_COMPILED:  # sentinel: not cached yet (None is valid)
+        compiled = compile_for_engine(circuit, engine, word_bits)
+        while len(_WORKER_COMPILED) >= _WORKER_CACHE_LIMIT:
+            _WORKER_COMPILED.pop(next(iter(_WORKER_COMPILED)))
+        _WORKER_COMPILED[token] = compiled
+    return compiled
+
+
+def _simulate_shard(
+    model: FaultModel,
+    circuit: LogicCircuit,
+    tests: Sequence,
+    fault_shard: Sequence[Fault],
+    engine: str,
+    compiled,
+    drop_detected: bool,
+) -> DetectionReport:
+    """One shard's simulation through the engine the spec asked for."""
+    if engine == "serial":
+        return model.simulate(
+            circuit, tests, fault_shard, drop_detected=drop_detected, engine="serial"
+        )
+    return packed_simulate_shard(
+        model.name, circuit, tests, fault_shard,
+        compiled=compiled, drop_detected=drop_detected,
+    )
+
+
+def _shard_pattern_and_generate(
+    token: str,
+    circuit: LogicCircuit,
+    model_name: str,
+    engine: str,
+    word_bits: Optional[int],
+    tests: Optional[Sequence],
+    fault_shard: Sequence[Fault],
+    drop_detected: bool,
+    run_atpg: bool,
+    podem_options: Optional[PodemOptions],
+) -> tuple[Optional[DetectionReport], list[AtpgOutcome], list[str], float, float]:
+    """Round 1: pattern-phase simulation plus ATPG generation for one shard.
+
+    *tests* is None when the spec has no pattern phase.  Returns the shard's
+    pattern report, its ATPG outcomes and skipped keys (both in universe
+    order), and the shard's (simulation seconds, generation seconds).
+    """
+    model = get_model(model_name)
+    compiled = _worker_compiled(token, circuit, engine, word_bits)
+    report: Optional[DetectionReport] = None
+    detected: set[str] = set()
+    sim_seconds = 0.0
+    if tests is not None:
+        t0 = time.perf_counter()
+        report = _simulate_shard(
+            model, circuit, tests, fault_shard, engine, compiled, drop_detected
+        )
+        sim_seconds = time.perf_counter() - t0
+        detected.update(report.detected_faults)
+    outcomes: list[AtpgOutcome] = []
+    skipped: list[str] = []
+    gen_seconds = 0.0
+    if run_atpg:
+        t0 = time.perf_counter()
+        outcomes, skipped = generate_atpg_outcomes(
+            model, circuit, fault_shard, detected, podem_options
+        )
+        gen_seconds = time.perf_counter() - t0
+    return report, outcomes, skipped, sim_seconds, gen_seconds
+
+
+def _shard_resimulate(
+    token: str,
+    circuit: LogicCircuit,
+    model_name: str,
+    engine: str,
+    word_bits: Optional[int],
+    tests: Sequence,
+    fault_shard: Sequence[Fault],
+    drop_detected: bool,
+) -> tuple[DetectionReport, float]:
+    """Round 2: re-simulate the merged ATPG test list over one fault shard."""
+    model = get_model(model_name)
+    compiled = _worker_compiled(token, circuit, engine, word_bits)
+    t0 = time.perf_counter()
+    report = _simulate_shard(
+        model, circuit, tests, fault_shard, engine, compiled, drop_detected
+    )
+    return report, time.perf_counter() - t0
+
+
+# --------------------------------------------------------------------------- #
+# Parent-side executor.
+# --------------------------------------------------------------------------- #
+class ShardedCampaign:
+    """Fault-sharded, multi-process form of :class:`~repro.campaign.Campaign`.
+
+    ``shards`` defaults to the spec's ``shards`` field; ``max_workers``
+    defaults to ``min(shards, cpu_count)``, and ``max_workers=0`` selects
+    :class:`InlineExecutor` (no processes -- same pipeline, deterministic,
+    handy for tests and one-CPU machines).  Pass *pool* to reuse an external
+    executor across campaigns (e.g. the shared pool of a
+    :class:`~repro.campaign.suite.CampaignSuite`); it is not shut down here.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        *,
+        shards: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        pool: Optional[Executor] = None,
+    ):
+        spec.validate()
+        self.spec = spec
+        self.model: FaultModel = get_model(spec.model)
+        self.shards = spec.shards if shards is None else shards
+        if self.shards < 1:
+            raise CampaignError(f"shards must be >= 1, got {self.shards}")
+        self.max_workers = max_workers
+        self.pool = pool
+
+    def _executor(self, num_shards: int) -> tuple[Executor, bool]:
+        """The executor to use and whether this run owns (must shut down) it."""
+        if self.pool is not None:
+            return self.pool, False
+        workers = self.max_workers
+        if workers == 0:
+            return InlineExecutor(), False
+        if workers is None:
+            workers = max(1, min(num_shards, os.cpu_count() or 1))
+        return ProcessPoolExecutor(max_workers=workers), True
+
+    def run(self, circuit: LogicCircuit | str | None = None) -> CampaignResult:
+        """Execute the sharded pipeline; the result matches ``Campaign.run``."""
+        spec, model = self.spec, self.model
+        circuit = resolve_campaign_circuit(circuit, spec)
+        start = time.perf_counter()
+
+        # Universe building and collapsing stay in the parent: they are cheap,
+        # and the contiguous partition of the *collapsed* list fixes shard
+        # contents (and hence merge order) once and for all.
+        universe = model.build_universe(circuit, **spec.universe_options)
+        faults = model.collapse(circuit, universe) if spec.collapse else universe
+        shard_lists = [s for s in partition_faults(faults, self.shards) if s]
+
+        tests: Optional[list] = None
+        if spec.pattern_source != "none":
+            tests = list(Campaign(spec).patterns_for(circuit))
+
+        token = _new_token()
+        executor, owns_pool = self._executor(max(1, len(shard_lists)))
+        try:
+            round1 = [
+                executor.submit(
+                    _shard_pattern_and_generate,
+                    token, circuit, model.name, spec.engine, spec.word_bits,
+                    tests, shard, spec.drop_detected, spec.run_atpg,
+                    spec.podem_options,
+                )
+                for shard in shard_lists
+            ]
+            results = [f.result() for f in round1]
+
+            pattern_phase: Optional[PatternPhaseResult] = None
+            detected: set[str] = set()
+            if tests is not None:
+                if results:
+                    report = merge_fault_shards(
+                        [r[0] for r in results], fault_order=faults.keys()
+                    )
+                else:  # empty fault universe: nothing was sharded
+                    report = DetectionReport(detections={}, num_tests=len(tests))
+                pattern_phase = PatternPhaseResult(
+                    source=spec.pattern_source,
+                    tests=tests,
+                    report=report,
+                    coverage=coverage_from_report(model.name, report),
+                    # Aggregate worker time, comparable to the sequential
+                    # phase cost (not the parallel wall time).
+                    runtime=sum(r[3] for r in results),
+                )
+                detected.update(report.detected_faults)
+
+            atpg_phase = None
+            if spec.run_atpg:
+                outcomes = [o for r in results for o in r[1]]
+                skipped = [k for r in results for k in r[2]]
+                generation_runtime = sum(r[4] for r in results)
+                atpg_tests = [test for outcome in outcomes for test in outcome.tests]
+                if spec.drop_detected:
+                    sim_faults = faults.filtered(lambda f: f.key not in detected)
+                else:
+                    sim_faults = faults
+                round2 = [
+                    executor.submit(
+                        _shard_resimulate,
+                        token, circuit, model.name, spec.engine, spec.word_bits,
+                        atpg_tests, shard, spec.drop_detected,
+                    )
+                    for shard in partition_faults(sim_faults, self.shards)
+                    if shard
+                ]
+                resim = [f.result() for f in round2]
+                if resim:
+                    report = merge_fault_shards(
+                        [r[0] for r in resim], fault_order=sim_faults.keys()
+                    )
+                else:  # every fault already detected (or the universe is empty)
+                    report = DetectionReport(detections={}, num_tests=len(atpg_tests))
+                atpg_phase = build_atpg_phase(
+                    model.name,
+                    len(faults),
+                    outcomes,
+                    skipped,
+                    report,
+                    runtime=generation_runtime + sum(r[1] for r in resim),
+                    generation_runtime=generation_runtime,
+                )
+        finally:
+            if owns_pool:
+                executor.shutdown()
+
+        return assemble_result(
+            spec,
+            model,
+            circuit,
+            universe,
+            faults,
+            pattern_phase,
+            atpg_phase,
+            runtime=time.perf_counter() - start,
+        )
+
+
+def run_sharded_campaign(
+    circuit: LogicCircuit | str | None = None,
+    spec: Optional[CampaignSpec] = None,
+    *,
+    shards: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    pool: Optional[Executor] = None,
+    **spec_kwargs,
+) -> CampaignResult:
+    """One-call convenience mirroring :func:`~repro.campaign.run_campaign`.
+
+    Builds a spec (or takes one), partitions the fault universe into
+    *shards* (default: the spec's ``shards`` field) and runs the campaign
+    across worker processes; the result is bit-identical to the
+    single-process :func:`~repro.campaign.run_campaign`.
+    """
+    if spec is not None and spec_kwargs:
+        raise CampaignError("pass either a CampaignSpec or keyword fields, not both")
+    executor = ShardedCampaign(
+        spec or CampaignSpec(**spec_kwargs),
+        shards=shards,
+        max_workers=max_workers,
+        pool=pool,
+    )
+    return executor.run(circuit)

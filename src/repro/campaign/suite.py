@@ -1,0 +1,298 @@
+"""Campaign batteries: many specs, one worker pool, one consolidated report.
+
+:class:`CampaignSuite` executes a list of :class:`~repro.campaign.runner.
+CampaignSpec`\\ s (each naming its circuit) concurrently in a shared
+:class:`~concurrent.futures.ProcessPoolExecutor` -- one campaign per worker
+task, so a battery of small campaigns saturates the pool while every
+individual result stays bit-identical to a standalone
+:meth:`Campaign.run <repro.campaign.runner.Campaign.run>`.  Specs with
+``shards > 1`` run their shard pipeline inline inside the worker (nested
+process pools are never created).
+
+:meth:`CampaignSuite.cross` builds the usual benchmark battery as the cross
+product of circuits x models x engines, and :class:`SuiteResult` emits the
+consolidated JSON / CSV report the scale benchmarks and CI artifacts
+consume.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Iterable, Optional, Sequence
+
+from .errors import CampaignError
+from .runner import Campaign, CampaignResult, CampaignSpec
+from .sharded import InlineExecutor, ShardedCampaign
+
+
+def _run_suite_entry(index: int, spec: CampaignSpec) -> tuple[int, Optional[CampaignResult], Optional[str], float]:
+    """Worker task: run one campaign, trapping per-entry failures.
+
+    A failing entry (unknown circuit, degenerate builder size, ...) is
+    reported in the consolidated result instead of poisoning the battery.
+    """
+    start = time.perf_counter()
+    try:
+        if spec.shards > 1:
+            result = ShardedCampaign(spec, pool=InlineExecutor()).run()
+        else:
+            result = Campaign(spec).run()
+        return index, result, None, time.perf_counter() - start
+    except Exception as exc:
+        return index, None, f"{type(exc).__name__}: {exc}", time.perf_counter() - start
+
+
+@dataclass
+class SuiteEntry:
+    """Outcome of one battery member: a result or an error, never both."""
+
+    index: int
+    spec: CampaignSpec
+    result: Optional[CampaignResult]
+    error: Optional[str]
+    runtime: float
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def row(self) -> dict[str, Any]:
+        """Flat summary row for the consolidated report."""
+        row: dict[str, Any] = {
+            "index": self.index,
+            "circuit": self.spec.circuit,
+            "model": self.spec.model,
+            "engine": self.spec.engine,
+            "shards": self.spec.shards,
+            "pattern_source": self.spec.pattern_source,
+            "ok": self.ok,
+            "runtime_s": self.runtime,
+        }
+        if self.result is None:
+            row["error"] = self.error
+            return row
+        result = self.result
+        coverage = result.coverage
+        num_tests = result.merged_report.num_tests
+        row.update(
+            {
+                "faults": len(result.faults),
+                "detected": coverage.detected,
+                "coverage": coverage.coverage,
+                "num_tests": num_tests,
+                "compacted_tests": result.compaction.size if result.compaction else None,
+                "fault_tests_per_second": (
+                    len(result.faults) * num_tests / self.runtime if self.runtime > 0 else None
+                ),
+                "error": None,
+            }
+        )
+        return row
+
+
+#: Column order of the consolidated CSV (superset of every row's keys).
+SUITE_CSV_COLUMNS = (
+    "index", "circuit", "model", "engine", "shards", "pattern_source", "ok",
+    "faults", "detected", "coverage", "num_tests", "compacted_tests",
+    "runtime_s", "fault_tests_per_second", "error",
+)
+
+
+@dataclass
+class SuiteResult:
+    """Everything one battery run produced, plus the consolidated reports."""
+
+    entries: list[SuiteEntry]
+    runtime: float
+
+    @property
+    def ok(self) -> list[SuiteEntry]:
+        return [e for e in self.entries if e.ok]
+
+    @property
+    def failed(self) -> list[SuiteEntry]:
+        return [e for e in self.entries if not e.ok]
+
+    def results(self) -> list[CampaignResult]:
+        return [e.result for e in self.entries if e.result is not None]
+
+    def rows(self) -> list[dict[str, Any]]:
+        return [entry.row() for entry in self.entries]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": "repro/campaign-suite/1",
+            "campaigns": len(self.entries),
+            "ok": len(self.ok),
+            "failed": len(self.failed),
+            "runtime_s": self.runtime,
+            "rows": self.rows(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def to_csv(self) -> str:
+        """The consolidated report as CSV text (one row per campaign)."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=SUITE_CSV_COLUMNS, restval="")
+        writer.writeheader()
+        for row in self.rows():
+            writer.writerow({k: row.get(k, "") for k in SUITE_CSV_COLUMNS})
+        return buffer.getvalue()
+
+    def write_report(self, directory: str | os.PathLike, stem: str = "suite_report") -> tuple[Path, Path]:
+        """Write ``<stem>.json`` and ``<stem>.csv`` under *directory*."""
+        out = Path(directory)
+        out.mkdir(parents=True, exist_ok=True)
+        json_path = out / f"{stem}.json"
+        csv_path = out / f"{stem}.csv"
+        json_path.write_text(self.to_json() + "\n", encoding="utf-8")
+        csv_path.write_text(self.to_csv(), encoding="utf-8")
+        return json_path, csv_path
+
+    def describe(self) -> str:
+        lines = [
+            f"suite: {len(self.ok)}/{len(self.entries)} campaigns ok "
+            f"in {self.runtime:.2f} s"
+        ]
+        for entry in self.entries:
+            row = entry.row()
+            if entry.ok:
+                lines.append(
+                    f"  [{row['index']:3d}] {row['circuit']} x {row['model']} "
+                    f"({row['engine']}, shards={row['shards']}): "
+                    f"{row['detected']}/{row['faults']} detected "
+                    f"({100.0 * row['coverage']:.1f}%), {row['num_tests']} tests"
+                    + (
+                        f" -> {row['compacted_tests']} compacted"
+                        if row["compacted_tests"] is not None
+                        else ""
+                    )
+                    + f", {row['runtime_s'] * 1e3:.0f} ms"
+                )
+            else:
+                lines.append(
+                    f"  [{row['index']:3d}] {row['circuit']} x {row['model']}: "
+                    f"FAILED ({row['error']})"
+                )
+        return "\n".join(lines)
+
+
+class CampaignSuite:
+    """A battery of campaigns over one shared worker pool.
+
+    Every spec must name its circuit (``CampaignSpec.circuit``) since
+    workers cannot receive live :class:`~repro.logic.netlist.LogicCircuit`
+    arguments positionally through the battery API.  ``max_workers=0``
+    runs the battery inline (no processes); *pool* reuses an external
+    executor and leaves its lifetime to the caller.
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[CampaignSpec],
+        *,
+        max_workers: Optional[int] = None,
+        pool: Optional[Executor] = None,
+    ):
+        self.specs = list(specs)
+        if not self.specs:
+            raise CampaignError("empty campaign suite: pass at least one CampaignSpec")
+        for index, spec in enumerate(self.specs):
+            spec.validate()
+            if spec.circuit is None:
+                raise CampaignError(
+                    f"suite entry {index} ({spec.model}) has no circuit: "
+                    f"set CampaignSpec.circuit to a registered name, "
+                    f"family:args reference or .bench path"
+                )
+        self.max_workers = max_workers
+        self.pool = pool
+
+    @classmethod
+    def cross(
+        cls,
+        circuits: Sequence[str],
+        models: Sequence[str] = ("stuck-at", "transition", "path-delay", "obd"),
+        engines: Sequence[str] = ("packed",),
+        *,
+        base: Optional[CampaignSpec] = None,
+        max_workers: Optional[int] = None,
+        pool: Optional[Executor] = None,
+        **spec_kwargs: Any,
+    ) -> "CampaignSuite":
+        """The cross-product battery: circuits x models x engines.
+
+        *base* (or ``**spec_kwargs``) supplies the shared pipeline settings
+        -- pattern source and count, seed, collapsing, dropping, shards --
+        and every combination gets its own spec via ``dataclasses.replace``.
+        """
+        if base is not None and spec_kwargs:
+            raise CampaignError("pass either a base CampaignSpec or keyword fields, not both")
+        if base is not None:
+            template = base
+        else:
+            # Seed the template with the first battery model so cross-field
+            # validation (e.g. sic needs a two-pattern model) judges a spec
+            # that will actually run, not the placeholder default.
+            if models:
+                spec_kwargs.setdefault("model", models[0])
+            template = CampaignSpec(**spec_kwargs)
+        specs = [
+            replace(template, circuit=circuit, model=model, engine=engine)
+            for circuit in circuits
+            for model in models
+            for engine in engines
+        ]
+        return cls(specs, max_workers=max_workers, pool=pool)
+
+    def run(self) -> SuiteResult:
+        """Execute the battery; entry order in the result matches the specs."""
+        start = time.perf_counter()
+        own_pool = False
+        executor = self.pool
+        if executor is None:
+            if self.max_workers == 0:
+                executor = InlineExecutor()
+            else:
+                workers = self.max_workers or max(
+                    1, min(len(self.specs), os.cpu_count() or 1)
+                )
+                executor = ProcessPoolExecutor(max_workers=workers)
+                own_pool = True
+        try:
+            futures = [
+                executor.submit(_run_suite_entry, index, spec)
+                for index, spec in enumerate(self.specs)
+            ]
+            outcomes = [f.result() for f in futures]
+        finally:
+            if own_pool:
+                executor.shutdown()
+        entries = [
+            SuiteEntry(index=i, spec=self.specs[i], result=result, error=error, runtime=rt)
+            for i, result, error, rt in sorted(outcomes)
+        ]
+        return SuiteResult(entries=entries, runtime=time.perf_counter() - start)
+
+
+def run_campaign_suite(
+    circuits: Sequence[str],
+    models: Sequence[str] = ("stuck-at", "transition", "path-delay", "obd"),
+    engines: Sequence[str] = ("packed",),
+    *,
+    max_workers: Optional[int] = None,
+    **spec_kwargs: Any,
+) -> SuiteResult:
+    """One-call cross-product battery (see :meth:`CampaignSuite.cross`)."""
+    return CampaignSuite.cross(
+        circuits, models, engines, max_workers=max_workers, **spec_kwargs
+    ).run()

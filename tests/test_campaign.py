@@ -61,22 +61,113 @@ class TestSpecValidation:
             Campaign(CampaignSpec(pattern_source="none", run_atpg=False))
 
     def test_bad_engine_fails_fast(self):
-        """A typoed engine is rejected at spec time, not after the ATPG run."""
-        with pytest.raises(ValueError, match="unknown fault-simulation engine"):
-            Campaign(CampaignSpec(engine="quantum"))
+        """A typoed engine is rejected at spec time, not after the ATPG run,
+        and surfaces as CampaignError like every other bad field."""
+        with pytest.raises(CampaignError, match="unknown fault-simulation engine"):
+            CampaignSpec(engine="quantum")
 
     def test_unknown_model_is_a_spec_error(self):
         with pytest.raises(CampaignError, match="unknown fault model"):
             Campaign(CampaignSpec(model="bridging"))
 
-    def test_sic_needs_two_pattern_model(self, fa_sum):
-        campaign = Campaign(CampaignSpec(model="stuck-at", pattern_source="sic"))
-        with pytest.raises(CampaignError, match="two-pattern"):
-            campaign.run(fa_sum)
+    def test_sic_needs_two_pattern_model(self):
+        """sic x single-pattern fails at construction and names both fields."""
+        with pytest.raises(CampaignError, match="pattern_source='sic'.*two-pattern") as err:
+            CampaignSpec(model="stuck-at", pattern_source="sic")
+        assert "stuck-at" in str(err.value)
+
+    def test_sic_accepted_for_two_pattern_models(self):
+        for name in ("transition", "path-delay", "obd"):
+            assert CampaignSpec(model=name, pattern_source="sic").pattern_source == "sic"
+
+    def test_shards_must_be_positive(self):
+        """shards < 1 fails at construction and the message names the field."""
+        for bad in (0, -3):
+            with pytest.raises(CampaignError, match=f"shards must be >= 1, got {bad}"):
+                CampaignSpec(shards=bad)
+        assert CampaignSpec(shards=7).shards == 7
+
+    def test_validation_fires_at_construction_not_mid_run(self):
+        """A bad field never survives to run(): construction itself raises."""
+        with pytest.raises(CampaignError, match="pattern_count"):
+            CampaignSpec(pattern_count=-1)
+        with pytest.raises(CampaignError, match="word_bits"):
+            CampaignSpec(word_bits=0)
 
     def test_spec_and_kwargs_exclusive(self, fa_sum):
         with pytest.raises(CampaignError):
             run_campaign(fa_sum, CampaignSpec(), model="obd")
+
+
+class TestResolveCircuitErrors:
+    """Bad circuit references surface as CampaignError / LogicCircuitError
+    with actionable messages -- never a bare ValueError or FileNotFoundError."""
+
+    def test_malformed_parametric_ref_missing_args(self):
+        from repro.campaign import resolve_circuit
+
+        with pytest.raises(CampaignError, match="needs arguments, e.g. 'rdag:4'"):
+            resolve_circuit("rdag:")
+
+    def test_degenerate_builder_size_keeps_builder_error(self):
+        from repro.campaign import resolve_circuit
+        from repro.logic import LogicCircuitError
+
+        with pytest.raises(LogicCircuitError, match="bits >= 1"):
+            resolve_circuit("mult:0")
+
+    def test_nonexistent_bench_path_is_campaign_error(self, tmp_path):
+        from repro.campaign import resolve_circuit
+
+        missing = tmp_path / "nope.bench"
+        with pytest.raises(CampaignError, match="no .bench file at"):
+            resolve_circuit(str(missing))
+        # Never a FileNotFoundError leak.
+        try:
+            resolve_circuit(str(missing))
+        except FileNotFoundError:  # pragma: no cover - the regression itself
+            pytest.fail("FileNotFoundError leaked out of resolve_circuit")
+        except CampaignError:
+            pass
+
+    def test_unreadable_bench_path_is_campaign_error(self, tmp_path):
+        from repro.campaign import resolve_circuit
+
+        directory = tmp_path / "adir.bench"
+        directory.mkdir()
+        with pytest.raises(CampaignError, match="cannot read .bench file"):
+            resolve_circuit(str(directory))
+
+    def test_non_integer_arguments(self):
+        from repro.campaign import resolve_circuit
+
+        with pytest.raises(CampaignError, match="must be integers"):
+            resolve_circuit("mult:a")
+
+    def test_unknown_family_and_unknown_name(self):
+        from repro.campaign import resolve_circuit
+
+        with pytest.raises(CampaignError, match="unknown parametric circuit family"):
+            resolve_circuit("quux:4")
+        with pytest.raises(CampaignError, match="registered:"):
+            resolve_circuit("quux")
+
+    def test_wrong_argument_count(self):
+        from repro.campaign import resolve_circuit
+
+        with pytest.raises(CampaignError, match="between 1 and 1"):
+            resolve_circuit("mult:2,3")
+
+    def test_non_string_reference(self):
+        from repro.campaign import resolve_circuit
+
+        with pytest.raises(CampaignError, match="expected a circuit name"):
+            resolve_circuit(123)
+
+    def test_campaign_run_normalizes_everything_to_campaign_error(self):
+        for ref in ("rdag:", "mult:0", "/nonexistent/f.bench", "quux:4"):
+            with pytest.raises(CampaignError):
+                run_campaign(ref, CampaignSpec(model="stuck-at"))
 
 
 class TestSection43Parity:

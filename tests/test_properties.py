@@ -19,6 +19,7 @@ from repro.atpg import (
     serial_simulate_transition,
     simulate_with_forced_net,
 )
+from repro.campaign import Campaign, CampaignSpec, ShardedCampaign
 from repro.core import (
     BreakdownStage,
     ProgressionModel,
@@ -219,6 +220,69 @@ def test_serial_packed_equivalence_path_delay(seed, drop_detected):
 @settings(max_examples=15, deadline=None)
 def test_serial_packed_equivalence_obd(seed, drop_detected):
     _equivalence_case("obd", seed, drop_detected)
+
+
+# --------------------------------------------------------------------------- #
+# Sharded-campaign determinism: partitioning the fault universe across any
+# number of shards (ragged and empty final shards included) must reproduce
+# the single-process Campaign.run result exactly -- coverage, per-fault
+# detection indices, merged/compacted test lists and the JSON payload.
+# --------------------------------------------------------------------------- #
+SHARD_COUNTS = (1, 2, 3, 7)
+
+
+def _sharded_equality_case(model: str, seed: int, shards: int, drop_detected: bool) -> None:
+    palette = OBD_DAG_GATE_TYPES if model == "obd" else None
+    circuit = random_dag(16, num_inputs=4, seed=seed, max_depth=6, gate_types=palette)
+    spec = CampaignSpec(
+        model=model,
+        universe_options={"limit": 40} if model == "path-delay" else {},
+        pattern_source="random",
+        pattern_count=6,
+        seed=seed + 1,
+        run_atpg=True,
+        compact=True,
+        drop_detected=drop_detected,
+    )
+    base = Campaign(spec).run(circuit)
+    sharded = ShardedCampaign(spec, shards=shards, max_workers=0).run(circuit)
+    assert sharded.detections == base.detections
+    assert sharded.detected_faults == base.detected_faults
+    assert sharded.tests == base.tests
+    assert [f.key for f in sharded.faults] == [f.key for f in base.faults]
+    assert sharded.compaction.selected_indices == base.compaction.selected_indices
+    assert sharded.compacted_tests == base.compacted_tests
+    if base.atpg_phase is not None:
+        assert sharded.atpg_phase.skipped == base.atpg_phase.skipped
+        assert [o.fault.key for o in sharded.atpg_phase.outcomes] == [
+            o.fault.key for o in base.atpg_phase.outcomes
+        ]
+    # The whole report payload (runtimes aside) is byte-identical.
+    assert sharded.as_dict(include_runtime=False) == base.as_dict(include_runtime=False)
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.sampled_from(SHARD_COUNTS), st.booleans())
+@settings(max_examples=8, deadline=None)
+def test_sharded_campaign_equals_unsharded_stuck_at(seed, shards, drop_detected):
+    _sharded_equality_case("stuck-at", seed, shards, drop_detected)
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.sampled_from(SHARD_COUNTS), st.booleans())
+@settings(max_examples=8, deadline=None)
+def test_sharded_campaign_equals_unsharded_transition(seed, shards, drop_detected):
+    _sharded_equality_case("transition", seed, shards, drop_detected)
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.sampled_from(SHARD_COUNTS), st.booleans())
+@settings(max_examples=8, deadline=None)
+def test_sharded_campaign_equals_unsharded_path_delay(seed, shards, drop_detected):
+    _sharded_equality_case("path-delay", seed, shards, drop_detected)
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.sampled_from(SHARD_COUNTS), st.booleans())
+@settings(max_examples=8, deadline=None)
+def test_sharded_campaign_equals_unsharded_obd(seed, shards, drop_detected):
+    _sharded_equality_case("obd", seed, shards, drop_detected)
 
 
 # --------------------------------------------------------------------------- #
