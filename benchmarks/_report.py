@@ -36,6 +36,8 @@ def record_faultsim(
     seconds: float,
     word_bits: Optional[int] = None,
     workers: Optional[int] = None,
+    backtracks: Optional[int] = None,
+    decisions: Optional[int] = None,
 ) -> float:
     """Record one fault-simulation measurement; returns fault-tests/second.
 
@@ -44,6 +46,10 @@ def record_faultsim(
     so trend tooling can group workloads across PRs.  ``workers`` is the
     process count of a sharded-campaign measurement (None for single-process
     engine runs), giving the JSON a workers axis for the scale trajectory.
+    ``backtracks`` / ``decisions`` carry the total PODEM search effort of an
+    ATPG measurement (None when the run had no generation phase), so search
+    regressions show up in the trajectory even when wall-clock noise hides
+    them.
     """
     throughput = (num_faults * num_tests / seconds) if seconds > 0 else float("inf")
     _FAULTSIM_RECORDS.append(
@@ -58,6 +64,8 @@ def record_faultsim(
             "fault_tests_per_second": throughput,
             "word_bits": word_bits,
             "workers": workers,
+            "backtracks": backtracks,
+            "decisions": decisions,
         }
     )
     return throughput

@@ -343,6 +343,8 @@ def test_sharded_campaign_speedup(benchmark):
         num_tests=num_tests,
         seconds=single_s,
         workers=1,
+        backtracks=base.atpg_phase.backtracks,
+        decisions=base.atpg_phase.decisions,
     )
 
     cpus = os.cpu_count() or 1
@@ -367,6 +369,8 @@ def test_sharded_campaign_speedup(benchmark):
             num_tests=num_tests,
             seconds=sharded_s,
             workers=workers,
+            backtracks=sharded.atpg_phase.backtracks,
+            decisions=sharded.atpg_phase.decisions,
         )
         speedups[workers] = single_s / sharded_s
         rows.append(

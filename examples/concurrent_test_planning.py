@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import sys
 
-from repro.core import BreakdownStage, OBDDefect, ProgressionModel, harness_preparer
 from repro.cells import build_nand_harness, characterize_harness, default_technology
+from repro.core import BreakdownStage, OBDDefect, ProgressionModel, harness_preparer
 from repro.experiments.progression_window import DEFAULT_STAGE_DELAYS
 from repro.testing import StageDelay, detection_window, schedule_for_window
 

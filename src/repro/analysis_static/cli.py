@@ -1,0 +1,82 @@
+"""Command-line circuit linter: ``python -m repro.analysis_static.cli``.
+
+Each positional argument is either a registered circuit reference
+(``c17``, ``mult:3``, ``rdag:60,5``) or a path to a ``.bench`` file.
+Files are linted from source text, so diagnostics carry line numbers and
+multiply-driven nets are caught; registered circuits are linted as built.
+
+Exit status is 0 when no target produced an error-severity diagnostic and
+1 otherwise -- CI runs this over every generator family and the golden
+netlists as a smoke gate.  ``--verbose`` prints every diagnostic instead
+of just the per-target summary line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..campaign.circuits import resolve_circuit
+from ..campaign.errors import CampaignError
+from .diagnostics import LintReport
+from .lint import lint_bench, lint_circuit
+
+
+def _lint_target(target: str) -> LintReport:
+    if target.endswith(".bench"):
+        text = Path(target).read_text(encoding="utf-8")
+        return lint_bench(text, name=target)
+    return lint_circuit(resolve_circuit(target))
+
+
+def _summarize(target: str, report: LintReport, verbose: bool) -> str:
+    counts = report.counts()
+    status = "ok" if report.ok else "FAIL"
+    line = (
+        f"{status:4s} {target}: {counts['errors']} errors, "
+        f"{counts['warnings']} warnings, {counts['infos']} infos"
+    )
+    if verbose and report.diagnostics:
+        line += "\n" + "\n".join(f"    {d.format()}" for d in report.diagnostics)
+    elif report.errors:
+        line += "\n" + "\n".join(f"    {d.format()}" for d in report.errors)
+    return line
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Lint netlists: registered circuit references or .bench files.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        metavar="CIRCUIT",
+        help="circuit reference (e.g. c17, mult:3) or path to a .bench file",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="print every diagnostic, not just errors",
+    )
+    options = parser.parse_args(argv)
+
+    failed = False
+    for target in options.targets:
+        try:
+            report = _lint_target(target)
+        except (OSError, CampaignError) as exc:
+            print(f"FAIL {target}: {exc}")
+            failed = True
+            continue
+        print(_summarize(target, report, options.verbose))
+        if not report.ok:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke job
+    sys.exit(main())

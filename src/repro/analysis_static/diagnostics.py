@@ -1,0 +1,106 @@
+"""Structured diagnostics emitted by the netlist linter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+
+class Severity(str, Enum):
+    """Diagnostic severity; only :attr:`ERROR` blocks a campaign."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding, anchored to a rule and (when known) a site.
+
+    ``net`` / ``gate`` name the offending site inside the circuit; ``line``
+    is the 1-based ``.bench`` source line when the linter was given source
+    positions (:func:`~repro.analysis_static.lint.lint_bench`).
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    net: Optional[str] = None
+    gate: Optional[str] = None
+    line: Optional[int] = None
+
+    def format(self) -> str:
+        """``[severity] rule: message (net ..., line ...)`` -- one line."""
+        site = []
+        if self.net is not None:
+            site.append(f"net {self.net!r}")
+        if self.gate is not None:
+            site.append(f"gate {self.gate!r}")
+        if self.line is not None:
+            site.append(f"line {self.line}")
+        suffix = f" ({', '.join(site)})" if site else ""
+        return f"[{self.severity.value}] {self.rule}: {self.message}{suffix}"
+
+    def as_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        for key in ("net", "gate", "line"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        return payload
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one lint run, in rule-registry order."""
+
+    circuit_name: str = ""
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was emitted."""
+        return not self.errors
+
+    def counts(self) -> dict[str, int]:
+        """Severity histogram (stable keys, JSON-safe)."""
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "circuit": self.circuit_name,
+            **self.counts(),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    def describe(self) -> str:
+        name = self.circuit_name or "circuit"
+        counts = self.counts()
+        lines = [
+            f"lint[{name}]: {counts['errors']} errors, "
+            f"{counts['warnings']} warnings, {counts['infos']} infos"
+        ]
+        lines.extend(f"  {d.format()}" for d in self.diagnostics)
+        return "\n".join(lines)

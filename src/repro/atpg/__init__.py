@@ -78,6 +78,7 @@ from .fault_sim import (
     simulate_with_forced_net,
     transition_fault_detected,
 )
+from .obd_atpg import ObdAtpgSummary, ObdTestResult, generate_obd_test, run_obd_atpg
 from .parallel_sim import (
     PACKED_SIMULATORS,
     packed_simulate_obd,
@@ -86,7 +87,6 @@ from .parallel_sim import (
     packed_simulate_stuck_at,
     packed_simulate_transition,
 )
-from .obd_atpg import ObdAtpgSummary, ObdTestResult, generate_obd_test, run_obd_atpg
 from .path_delay_atpg import PathDelayTestResult, generate_path_delay_test
 from .podem import PodemOptions, PodemResult, generate_stuck_at_test, justify
 from .random_tpg import (
@@ -97,7 +97,7 @@ from .random_tpg import (
     single_input_change_pairs,
 )
 from .two_pattern import TwoPatternResult, TwoPatternTest, generate_transition_test
-from .values import DBAR, D, LogicValue, ONE, X, ZERO, evaluate_gate_values, from_bit
+from .values import D, DBAR, ONE, X, ZERO, LogicValue, evaluate_gate_values, from_bit
 
 __all__ = [
     "LogicValue",

@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
 
 from .fault_sim import DetectionReport
 
@@ -18,6 +17,10 @@ class CoverageReport:
     untestable: int = 0
     aborted: int = 0
     num_tests: int = 0
+    #: How many of ``untestable`` were proven by the pre-simulation static
+    #: phase (implication / observability analysis) rather than by an
+    #: exhausted ATPG search.  Always ``<= untestable``.
+    proven_static: int = 0
 
     @property
     def undetected(self) -> int:
@@ -38,9 +41,12 @@ class CoverageReport:
         return (self.detected + self.untestable) / self.total_faults
 
     def describe(self) -> str:
+        untestable = f"{self.untestable} untestable"
+        if self.proven_static:
+            untestable += f" ({self.proven_static} proven statically)"
         return (
             f"{self.model}: {self.detected}/{self.total_faults} detected "
-            f"({100.0 * self.coverage:.1f}%), {self.untestable} untestable, "
+            f"({100.0 * self.coverage:.1f}%), {untestable}, "
             f"{self.aborted} aborted, {self.num_tests} tests"
         )
 

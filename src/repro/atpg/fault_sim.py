@@ -25,7 +25,7 @@ difference from transition-fault simulation that Section 4.1 is about.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..core.excitation import Sequence2

@@ -43,6 +43,7 @@ class ObdTestResult:
     local_sequence: Optional[Sequence2]
     backtracks: int
     aborted: bool = False
+    decisions: int = 0
 
     @property
     def untestable(self) -> bool:
@@ -68,6 +69,7 @@ def generate_obd_test(
     options = options or PodemOptions()
     gate = circuit.gate(fault.gate_name)
     total_backtracks = 0
+    total_decisions = 0
     aborted_any = False
 
     for v1, v2 in fault.local_sequences:
@@ -91,12 +93,14 @@ def generate_obd_test(
             options=options,
         )
         total_backtracks += capture.backtracks
+        total_decisions += capture.decisions
         aborted_any |= capture.aborted
         if not capture.success:
             continue
 
         launch = justify(circuit, launch_cube, options=options)
         total_backtracks += launch.backtracks
+        total_decisions += launch.decisions
         aborted_any |= launch.aborted
         if not launch.success:
             continue
@@ -111,6 +115,7 @@ def generate_obd_test(
             test=test,
             local_sequence=(v1, v2),
             backtracks=total_backtracks,
+            decisions=total_decisions,
         )
 
     return ObdTestResult(
@@ -120,6 +125,7 @@ def generate_obd_test(
         local_sequence=None,
         backtracks=total_backtracks,
         aborted=aborted_any,
+        decisions=total_decisions,
     )
 
 
@@ -158,6 +164,10 @@ class ObdAtpgSummary:
     @property
     def backtracks(self) -> int:
         return sum(r.backtracks for r in self.results)
+
+    @property
+    def decisions(self) -> int:
+        return sum(r.decisions for r in self.results)
 
     def describe(self) -> str:
         line = (

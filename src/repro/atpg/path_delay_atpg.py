@@ -43,6 +43,7 @@ class PathDelayTestResult:
     backtracks: int
     aborted: bool = False
     branches: int = 0
+    decisions: int = 0
 
     @property
     def untestable(self) -> bool:
@@ -90,6 +91,7 @@ def generate_path_delay_test(
     options = options or PodemOptions()
     launch_value = 1 if fault.direction == RISING else 0
     total_backtracks = 0
+    total_decisions = 0
     aborted_any = False
     branches = 0
     truncated = 2 ** (len(fault.nets) - 1) > max_branches
@@ -101,12 +103,14 @@ def generate_path_delay_test(
 
         capture = justify(circuit, capture_cube, options=options)
         total_backtracks += capture.backtracks
+        total_decisions += capture.decisions
         aborted_any |= capture.aborted
         if not capture.success:
             continue
 
         launch = justify(circuit, launch_cube, options=options)
         total_backtracks += launch.backtracks
+        total_decisions += launch.decisions
         aborted_any |= launch.aborted
         if not launch.success:
             continue
@@ -121,6 +125,7 @@ def generate_path_delay_test(
             test=test,
             backtracks=total_backtracks,
             branches=branches,
+            decisions=total_decisions,
         )
 
     return PathDelayTestResult(
@@ -130,4 +135,5 @@ def generate_path_delay_test(
         backtracks=total_backtracks,
         aborted=aborted_any or truncated,
         branches=branches,
+        decisions=total_decisions,
     )

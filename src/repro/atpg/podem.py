@@ -12,21 +12,13 @@ The engine serves three callers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from ..faults.stuck_at import StuckAtFault
 from ..logic.gates import GateType
 from ..logic.netlist import Gate, LogicCircuit
-from .values import (
-    DBAR,
-    D,
-    LogicValue,
-    X,
-    evaluate_gate_values,
-    from_bit,
-    noncontrolling_value,
-)
+from .values import LogicValue, evaluate_gate_values, from_bit, noncontrolling_value
 
 
 @dataclass

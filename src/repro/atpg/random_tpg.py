@@ -8,7 +8,6 @@ fault simulator and comparing their coverage against the OBD-aware ATPG.
 from __future__ import annotations
 
 import random
-from typing import Iterator, Sequence
 
 from ..logic.netlist import LogicCircuit, LogicCircuitError
 

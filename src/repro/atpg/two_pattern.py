@@ -14,7 +14,7 @@ from typing import Optional
 from ..faults.stuck_at import StuckAtFault
 from ..faults.transition import TransitionFault
 from ..logic.netlist import LogicCircuit
-from .podem import PodemOptions, PodemResult, generate_stuck_at_test, justify
+from .podem import PodemOptions, generate_stuck_at_test, justify
 
 
 @dataclass(frozen=True)
@@ -37,6 +37,7 @@ class TwoPatternResult:
     test: Optional[TwoPatternTest]
     backtracks: int
     aborted: bool = False
+    decisions: int = 0
 
     @property
     def untestable(self) -> bool:
@@ -61,16 +62,25 @@ def generate_transition_test(
         circuit, StuckAtFault(fault.net, fault.launch_value), options=options
     )
     if not capture.success:
-        return TwoPatternResult(False, None, capture.backtracks, aborted=capture.aborted)
+        return TwoPatternResult(
+            False,
+            None,
+            capture.backtracks,
+            aborted=capture.aborted,
+            decisions=capture.decisions,
+        )
 
     # Launch pattern: justify the pre-transition value at the fault net.
     launch = justify(circuit, {fault.net: fault.launch_value}, options=options)
     backtracks = capture.backtracks + launch.backtracks
+    decisions = capture.decisions + launch.decisions
     if not launch.success:
-        return TwoPatternResult(False, None, backtracks, aborted=launch.aborted)
+        return TwoPatternResult(
+            False, None, backtracks, aborted=launch.aborted, decisions=decisions
+        )
 
     test = TwoPatternTest(
         first=pattern_tuple(circuit, launch.pattern),
         second=pattern_tuple(circuit, capture.pattern),
     )
-    return TwoPatternResult(True, test, backtracks)
+    return TwoPatternResult(True, test, backtracks, decisions=decisions)

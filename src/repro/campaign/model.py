@@ -12,7 +12,7 @@ transition, path-delay, OBD) register themselves in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
 
 from ..atpg.fault_sim import DetectionReport
@@ -40,6 +40,9 @@ class AtpgOutcome:
     tests: tuple = ()
     backtracks: int = 0
     aborted: bool = False
+    #: PODEM decision count (assignments tried), the second half of the
+    #: classical search-effort pair alongside ``backtracks``.
+    decisions: int = 0
 
     @property
     def untestable(self) -> bool:
@@ -88,6 +91,18 @@ class FaultModel(Protocol):
         options: PodemOptions | None = None,
     ) -> AtpgOutcome:
         """Deterministic test generation for one fault."""
+
+    def collapse_dominance(self, circuit: LogicCircuit, faults: FaultList) -> FaultList:
+        """Equivalence *plus* dominance collapsing (identity if unsupported)."""
+
+    def prove_untestable(self, circuit: LogicCircuit, faults: FaultList) -> dict:
+        """Statically proven untestable faults, keyed by fault key.
+
+        Values are :class:`~repro.analysis_static.untestable.StaticProof`
+        instances; models without a static prover return ``{}``.  The
+        campaign runner looks these hooks up with ``getattr`` so third-party
+        models registered before this protocol grew them keep working.
+        """
 
 
 _REGISTRY: dict[str, FaultModel] = {}

@@ -11,6 +11,11 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
+from ..analysis_static.untestable import (
+    StaticProof,
+    prove_stuck_at_untestable,
+    prove_transition_untestable,
+)
 from ..atpg.fault_sim import (
     DetectionReport,
     _check_engine,
@@ -30,7 +35,11 @@ from ..atpg.path_delay_atpg import generate_path_delay_test
 from ..atpg.podem import PodemOptions, generate_stuck_at_test
 from ..atpg.two_pattern import generate_transition_test, pattern_tuple
 from ..faults.base import FaultList
-from ..faults.collapse import collapse_stuck_at_faults, obd_equivalence_groups
+from ..faults.collapse import (
+    collapse_stuck_at_dominance,
+    collapse_stuck_at_faults,
+    obd_equivalence_groups,
+)
 from ..faults.obd import ObdFault, obd_fault_universe
 from ..faults.path_delay import PathDelayFault, path_delay_universe
 from ..faults.stuck_at import StuckAtFault, stuck_at_universe
@@ -57,7 +66,19 @@ def _dispatch(packed_fn, serial_fn, circuit, tests, faults, drop_detected, engin
     return packed_fn(circuit, tests, faults, drop_detected=drop_detected, compiled=compiled)
 
 
-class StuckAtModel:
+class _StaticHooksMixin:
+    """Default static-analysis hooks: no dominance collapsing, no proofs."""
+
+    def collapse_dominance(self, circuit: LogicCircuit, faults: FaultList) -> FaultList:
+        return self.collapse(circuit, faults)
+
+    def prove_untestable(
+        self, circuit: LogicCircuit, faults: FaultList
+    ) -> dict[str, StaticProof]:
+        return {}
+
+
+class StuckAtModel(_StaticHooksMixin):
     """Classical single stuck-at model: single patterns, PODEM ATPG."""
 
     name = "stuck-at"
@@ -70,6 +91,15 @@ class StuckAtModel:
     def collapse(self, circuit: LogicCircuit, faults: FaultList) -> FaultList:
         collapsed = collapse_stuck_at_faults(circuit)
         return faults.filtered(lambda f: f in collapsed)
+
+    def collapse_dominance(self, circuit: LogicCircuit, faults: FaultList) -> FaultList:
+        collapsed = collapse_stuck_at_dominance(circuit)
+        return faults.filtered(lambda f: f in collapsed)
+
+    def prove_untestable(
+        self, circuit: LogicCircuit, faults: FaultList
+    ) -> dict[str, StaticProof]:
+        return prove_stuck_at_untestable(circuit, faults)
 
     def simulate(
         self,
@@ -100,10 +130,17 @@ class StuckAtModel:
     ) -> AtpgOutcome:
         result = generate_stuck_at_test(circuit, fault, options=options)
         tests = (pattern_tuple(circuit, result.pattern),) if result.success else ()
-        return AtpgOutcome(fault, result.success, tests, result.backtracks, result.aborted)
+        return AtpgOutcome(
+            fault,
+            result.success,
+            tests,
+            result.backtracks,
+            result.aborted,
+            decisions=result.decisions,
+        )
 
 
-class TransitionModel:
+class TransitionModel(_StaticHooksMixin):
     """Classical transition (slow-to-rise / slow-to-fall) model."""
 
     name = "transition"
@@ -137,6 +174,11 @@ class TransitionModel:
             compiled,
         )
 
+    def prove_untestable(
+        self, circuit: LogicCircuit, faults: FaultList
+    ) -> dict[str, StaticProof]:
+        return prove_transition_untestable(circuit, faults)
+
     def generate_test(
         self,
         circuit: LogicCircuit,
@@ -145,10 +187,17 @@ class TransitionModel:
     ) -> AtpgOutcome:
         result = generate_transition_test(circuit, fault, options=options)
         tests = ((result.test.first, result.test.second),) if result.success else ()
-        return AtpgOutcome(fault, result.success, tests, result.backtracks, result.aborted)
+        return AtpgOutcome(
+            fault,
+            result.success,
+            tests,
+            result.backtracks,
+            result.aborted,
+            decisions=result.decisions,
+        )
 
 
-class PathDelayModel:
+class PathDelayModel(_StaticHooksMixin):
     """Path-delay model: non-robust sensitization over structural paths."""
 
     name = "path-delay"
@@ -190,10 +239,17 @@ class PathDelayModel:
     ) -> AtpgOutcome:
         result = generate_path_delay_test(circuit, fault, options=options)
         tests = ((result.test.first, result.test.second),) if result.success else ()
-        return AtpgOutcome(fault, result.success, tests, result.backtracks, result.aborted)
+        return AtpgOutcome(
+            fault,
+            result.success,
+            tests,
+            result.backtracks,
+            result.aborted,
+            decisions=result.decisions,
+        )
 
 
-class ObdModel:
+class ObdModel(_StaticHooksMixin):
     """The paper's oxide-breakdown model with input-specific excitation."""
 
     name = "obd"
@@ -243,7 +299,14 @@ class ObdModel:
     ) -> AtpgOutcome:
         result = generate_obd_test(circuit, fault, options=options)
         tests = ((result.test.first, result.test.second),) if result.success else ()
-        return AtpgOutcome(fault, result.success, tests, result.backtracks, result.aborted)
+        return AtpgOutcome(
+            fault,
+            result.success,
+            tests,
+            result.backtracks,
+            result.aborted,
+            decisions=result.decisions,
+        )
 
 
 STUCK_AT = register_model(StuckAtModel())

@@ -19,6 +19,9 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Iterable, Optional, Sequence
 
+from ..analysis_static.diagnostics import LintReport
+from ..analysis_static.lint import lint_circuit
+from ..analysis_static.untestable import StaticProof
 from ..atpg.compaction import CompactionResult, concat_phase_reports, greedy_compaction
 from ..atpg.coverage import CoverageReport, coverage_from_report
 from ..atpg.fault_sim import DetectionReport, _check_engine
@@ -39,6 +42,10 @@ from .model import TWO_PATTERN, AtpgOutcome, FaultModel, get_model
 
 #: Accepted ``CampaignSpec.pattern_source`` values.
 PATTERN_SOURCES = ("none", "random", "exhaustive", "sic")
+
+#: Accepted ``CampaignSpec.collapse`` values (booleans are also accepted:
+#: False = no collapsing, True = "equivalence").
+COLLAPSE_MODES = ("equivalence", "dominance")
 
 
 @dataclass
@@ -83,7 +90,9 @@ class CampaignSpec:
     model: str = "stuck-at"
     circuit: Optional[str] = None
     universe_options: dict = field(default_factory=dict)
-    collapse: bool = False
+    #: False = full universe, True or "equivalence" = structural equivalence
+    #: collapsing, "dominance" = equivalence plus guarded dominance drops.
+    collapse: bool | str = False
     pattern_source: str = "none"
     pattern_count: int = 64
     seed: int = 0
@@ -94,11 +103,20 @@ class CampaignSpec:
     engine: str = "packed"
     word_bits: Optional[int] = None
     shards: int = 1
+    #: Pre-simulation static phase: lint the circuit (errors abort the
+    #: campaign) and record statically proven untestable faults, which are
+    #: then skipped by ATPG.  On by default; set False to opt out.
+    static_phase: bool = True
 
     def __post_init__(self) -> None:
         self.validate()
 
     def validate(self) -> None:
+        if isinstance(self.collapse, str) and self.collapse not in COLLAPSE_MODES:
+            raise CampaignError(
+                f"unknown collapse mode {self.collapse!r}; expected a boolean "
+                f"or one of {COLLAPSE_MODES}"
+            )
         if self.pattern_source not in PATTERN_SOURCES:
             raise CampaignError(
                 f"unknown pattern source {self.pattern_source!r}; expected one of {PATTERN_SOURCES}"
@@ -127,6 +145,28 @@ class CampaignSpec:
 
 
 @dataclass
+class StaticPhaseResult:
+    """Outcome of the pre-simulation static phase.
+
+    ``proofs`` maps each statically proven untestable fault key to its
+    :class:`~repro.analysis_static.untestable.StaticProof`; those faults are
+    skipped by ATPG and reported as untestable with ``proven_static``
+    provenance.  They deliberately *stay* in the fault-simulation universe:
+    a sound proof means no test can detect them, so keeping them changes no
+    detection result -- and a detection of a proven fault trips the
+    soundness alarm in :func:`assemble_result`.
+    """
+
+    lint: LintReport
+    proofs: dict[str, StaticProof]
+    runtime: float
+
+    @property
+    def num_proven(self) -> int:
+        return len(self.proofs)
+
+
+@dataclass
 class PatternPhaseResult:
     """Outcome of the random / exhaustive / SIC pattern phase."""
 
@@ -143,7 +183,9 @@ class AtpgPhaseResult:
 
     ``skipped`` lists the fault keys that were already detected by an earlier
     phase and therefore never handed to the ATPG engine (cross-phase fault
-    dropping); ``outcomes`` covers only the attempted faults.
+    dropping); ``proven`` lists the keys the static phase proved untestable,
+    which are likewise never searched; ``outcomes`` covers only the
+    attempted faults.
     """
 
     outcomes: list[AtpgOutcome]
@@ -156,6 +198,9 @@ class AtpgPhaseResult:
     #: fault-simulation of the generated tests (use this for ATPG-cost
     #: comparisons such as the Section-5 complexity experiment).
     generation_runtime: float = 0.0
+    #: Fault keys proven untestable by the static phase (universe order),
+    #: skipped without running the search.
+    proven: tuple[str, ...] = ()
 
     @property
     def attempted(self) -> int:
@@ -177,6 +222,10 @@ class AtpgPhaseResult:
     def backtracks(self) -> int:
         return sum(o.backtracks for o in self.outcomes)
 
+    @property
+    def decisions(self) -> int:
+        return sum(o.decisions for o in self.outcomes)
+
 
 @dataclass
 class CampaignResult:
@@ -192,6 +241,7 @@ class CampaignResult:
     circuit_stats: CircuitStats
     faults: FaultList
     uncollapsed_faults: int
+    static_phase: Optional[StaticPhaseResult]
     pattern_phase: Optional[PatternPhaseResult]
     atpg_phase: Optional[AtpgPhaseResult]
     #: All tests applied, pattern phase first, then ATPG tests; detection
@@ -220,8 +270,14 @@ class CampaignResult:
 
     @property
     def coverage(self) -> CoverageReport:
-        """Overall coverage across all phases."""
-        untestable = len(self.atpg_phase.untestable) if self.atpg_phase else 0
+        """Overall coverage across all phases.
+
+        Statically proven faults count as untestable (with their own
+        ``proven_static`` tally) exactly like ATPG-proven ones, so test
+        efficiency is comparable with the static phase on or off.
+        """
+        proven = self.static_phase.num_proven if self.static_phase else 0
+        untestable = (len(self.atpg_phase.untestable) if self.atpg_phase else 0) + proven
         aborted = len(self.atpg_phase.aborted) if self.atpg_phase else 0
         return CoverageReport(
             model=self.model_name,
@@ -230,6 +286,7 @@ class CampaignResult:
             untestable=untestable,
             aborted=aborted,
             num_tests=self.merged_report.num_tests,
+            proven_static=proven,
         )
 
     @property
@@ -254,6 +311,13 @@ class CampaignResult:
             + f", {overall.detected}/{overall.total_faults} detected "
             f"({100.0 * overall.coverage:.1f}%)"
         ]
+        if self.static_phase is not None:
+            s = self.static_phase
+            counts = s.lint.counts()
+            lines.append(
+                f"  static: lint {counts['errors']} errors / {counts['warnings']} "
+                f"warnings, {s.num_proven} faults proven untestable"
+            )
         if self.pattern_phase is not None:
             p = self.pattern_phase
             lines.append(
@@ -264,8 +328,10 @@ class CampaignResult:
             a = self.atpg_phase
             lines.append(
                 f"  atpg: {a.attempted} attempted ({len(a.skipped)} skipped as already "
-                f"detected), {len(a.testable)} testable, {len(a.untestable)} untestable, "
-                f"{len(a.aborted)} aborted, {a.backtracks} backtracks -> {len(a.tests)} tests"
+                f"detected, {len(a.proven)} proven untestable statically), "
+                f"{len(a.testable)} testable, {len(a.untestable)} untestable, "
+                f"{len(a.aborted)} aborted, {a.backtracks} backtracks / "
+                f"{a.decisions} decisions -> {len(a.tests)} tests"
             )
         if self.compaction is not None:
             lines.append(
@@ -302,6 +368,7 @@ class CampaignResult:
                     "engine": spec.engine,
                     "word_bits": spec.word_bits,
                     "shards": spec.shards,
+                    "static_phase": spec.static_phase,
                 }
             ),
             "circuit_stats": {
@@ -315,6 +382,7 @@ class CampaignResult:
                     str(k): v for k, v in sorted(self.circuit_stats.fanout_histogram.items())
                 },
                 "max_fanout": self.circuit_stats.max_fanout,
+                "scoap": self.circuit_stats.scoap,
             },
             "faults": len(self.faults),
             "uncollapsed_faults": self.uncollapsed_faults,
@@ -323,6 +391,16 @@ class CampaignResult:
         }
         if include_runtime:
             payload["runtime_s"] = self.runtime
+        if self.static_phase is not None:
+            s = self.static_phase
+            payload["static_phase"] = {
+                "lint": s.lint.counts(),
+                "proven_untestable": {
+                    key: s.proofs[key].reason for key in sorted(s.proofs)
+                },
+            }
+            if include_runtime:
+                payload["static_phase"]["runtime_s"] = s.runtime
         if self.pattern_phase is not None:
             payload["pattern_phase"] = {
                 "source": self.pattern_phase.source,
@@ -336,10 +414,12 @@ class CampaignResult:
             payload["atpg_phase"] = {
                 "attempted": a.attempted,
                 "skipped": len(a.skipped),
+                "proven_static": len(a.proven),
                 "testable": len(a.testable),
                 "untestable": len(a.untestable),
                 "aborted": len(a.aborted),
                 "backtracks": a.backtracks,
+                "decisions": a.decisions,
                 "num_tests": len(a.tests),
                 "coverage": _coverage_dict(a.coverage),
             }
@@ -365,6 +445,7 @@ def _coverage_dict(report: CoverageReport) -> dict[str, Any]:
         "total_faults": report.total_faults,
         "detected": report.detected,
         "untestable": report.untestable,
+        "proven_static": report.proven_static,
         "aborted": report.aborted,
         "num_tests": report.num_tests,
         "coverage": report.coverage,
@@ -425,27 +506,89 @@ def compile_for_engine(
     return compile_circuit(circuit, word_bits=bits, codegen=codegen)
 
 
+def collapse_universe(
+    model: FaultModel, circuit: LogicCircuit, universe: FaultList, mode: bool | str
+) -> FaultList:
+    """Apply the spec's collapse mode (False / True / "equivalence" / "dominance").
+
+    ``"dominance"`` falls back to plain equivalence for models that predate
+    the ``collapse_dominance`` hook.
+    """
+    if not mode:
+        return universe
+    if mode == "dominance":
+        dominance = getattr(model, "collapse_dominance", None)
+        if dominance is not None:
+            return dominance(circuit, universe)
+    return model.collapse(circuit, universe)
+
+
+def run_lint_gate(circuit: LogicCircuit) -> LintReport:
+    """Lint *circuit* and abort on error-severity findings.
+
+    An error-severity diagnostic aborts the campaign with a
+    :class:`CampaignError` quoting every finding; warnings and infos are
+    recorded on the report but do not block.  This runs before the circuit
+    is compiled or the fault universe built, so structural defects surface
+    as campaign errors with rule ids instead of engine tracebacks.
+    """
+    lint = lint_circuit(circuit)
+    if not lint.ok:
+        findings = "; ".join(d.format() for d in lint.errors)
+        raise CampaignError(
+            f"circuit {circuit.name or '<unnamed>'!r} failed netlist lint: {findings}"
+        )
+    return lint
+
+
+def run_static_phase(
+    model: FaultModel,
+    circuit: LogicCircuit,
+    faults: FaultList,
+    lint: Optional[LintReport] = None,
+) -> StaticPhaseResult:
+    """Collect the static phase: lint gate plus untestability proofs.
+
+    *lint* carries a report from an earlier :func:`run_lint_gate` call (the
+    runner lints before compiling); when None the gate runs here.  Models
+    without a ``prove_untestable`` hook simply contribute no proofs.
+    """
+    t0 = time.perf_counter()
+    if lint is None:
+        lint = run_lint_gate(circuit)
+    prove = getattr(model, "prove_untestable", None)
+    proofs: dict[str, StaticProof] = prove(circuit, faults) if prove is not None else {}
+    return StaticPhaseResult(lint=lint, proofs=proofs, runtime=time.perf_counter() - t0)
+
+
 def generate_atpg_outcomes(
     model: FaultModel,
     circuit: LogicCircuit,
     faults: Iterable,
     detected: set[str],
     options: Optional[PodemOptions] = None,
-) -> tuple[list[AtpgOutcome], list[str]]:
+    proven: frozenset[str] = frozenset(),
+) -> tuple[list[AtpgOutcome], list[str], list[str]]:
     """Deterministic ATPG over *faults*, skipping already-*detected* keys.
 
-    Returns (outcomes for the attempted faults, skipped fault keys), both in
-    universe order -- the invariant that makes fault-sharded generation
-    merge back into exactly the single-process test list.
+    Keys in *proven* (statically proven untestable) are skipped without
+    running the search.  Returns (outcomes for the attempted faults, skipped
+    fault keys, proven fault keys), all in universe order -- the invariant
+    that makes fault-sharded generation merge back into exactly the
+    single-process test list.
     """
     outcomes: list[AtpgOutcome] = []
     skipped: list[str] = []
+    proven_skipped: list[str] = []
     for fault in faults:
+        if fault.key in proven:
+            proven_skipped.append(fault.key)
+            continue
         if fault.key in detected:
             skipped.append(fault.key)
             continue
         outcomes.append(model.generate_test(circuit, fault, options=options))
-    return outcomes, skipped
+    return outcomes, skipped, proven_skipped
 
 
 def build_atpg_phase(
@@ -456,8 +599,14 @@ def build_atpg_phase(
     report: DetectionReport,
     runtime: float,
     generation_runtime: float,
+    proven: Sequence[str] = (),
 ) -> AtpgPhaseResult:
-    """Assemble the ATPG phase record from its parts (shared with sharding)."""
+    """Assemble the ATPG phase record from its parts (shared with sharding).
+
+    The phase coverage counts the statically *proven* keys as untestable
+    alongside the search-proven ones, so the phase's test efficiency is
+    unchanged by moving a proof from PODEM to the static phase.
+    """
     atpg_tests = [test for outcome in outcomes for test in outcome.tests]
     untestable = sum(1 for o in outcomes if o.untestable)
     aborted = sum(1 for o in outcomes if not o.success and o.aborted)
@@ -470,12 +619,14 @@ def build_atpg_phase(
             model=model_name,
             total_faults=num_faults,
             detected=len(report.detected_faults),
-            untestable=untestable,
+            untestable=untestable + len(proven),
             aborted=aborted,
             num_tests=len(atpg_tests),
+            proven_static=len(proven),
         ),
         runtime=runtime,
         generation_runtime=generation_runtime,
+        proven=tuple(proven),
     )
 
 
@@ -488,16 +639,27 @@ def assemble_result(
     pattern_phase: Optional[PatternPhaseResult],
     atpg_phase: Optional[AtpgPhaseResult],
     runtime: float,
+    static_phase: Optional[StaticPhaseResult] = None,
 ) -> CampaignResult:
     """Merge phases, compact, and build the final :class:`CampaignResult`.
 
     Both the single-process and the sharded executor end here, so report
     merging and compaction behave identically no matter how the phases were
-    computed.
+    computed.  A detection of a statically proven fault means an unsound
+    proof and raises :class:`CampaignError` -- by construction it cannot
+    happen, and silently reporting such a fault both detected and untestable
+    would corrupt every downstream count.
     """
     merged_report = concat_phase_reports(
         faults.keys(), [p.report for p in (pattern_phase, atpg_phase) if p is not None]
     )
+    if static_phase is not None and static_phase.proofs:
+        unsound = sorted(set(merged_report.detected_faults) & set(static_phase.proofs))
+        if unsound:
+            raise CampaignError(
+                f"static untestability proofs are unsound: faults {unsound} were "
+                f"proven untestable but detected by simulation"
+            )
     merged_tests = (pattern_phase.tests if pattern_phase else []) + (
         atpg_phase.tests if atpg_phase else []
     )
@@ -509,9 +671,10 @@ def assemble_result(
         spec=spec,
         model_name=model.name,
         circuit_name=circuit.name,
-        circuit_stats=circuit.stats(),
+        circuit_stats=circuit.stats(include_scoap=spec.static_phase),
         faults=faults,
         uncollapsed_faults=len(universe),
+        static_phase=static_phase,
         pattern_phase=pattern_phase,
         atpg_phase=atpg_phase,
         tests=merged_tests,
@@ -567,14 +730,25 @@ class Campaign:
         circuit = resolve_campaign_circuit(circuit, spec)
         start = time.perf_counter()
 
+        # The lint gate runs before anything touches the netlist, so a
+        # malformed circuit fails with rule-id diagnostics rather than a
+        # compile or universe-builder traceback.
+        lint = run_lint_gate(circuit) if spec.static_phase else None
+
         # One compile per campaign: every phase's fault simulation reuses the
         # same CompiledCircuit (codegen for "packed", interpreter baseline at
         # the legacy width for "interp"; the serial engine needs none).
         compiled = compile_for_engine(circuit, spec.engine, spec.word_bits)
 
         universe = model.build_universe(circuit, **spec.universe_options)
-        faults = model.collapse(circuit, universe) if spec.collapse else universe
+        faults = collapse_universe(model, circuit, universe, spec.collapse)
         detected: set[str] = set()
+
+        static_phase: StaticPhaseResult | None = None
+        proven: frozenset[str] = frozenset()
+        if spec.static_phase:
+            static_phase = run_static_phase(model, circuit, faults, lint=lint)
+            proven = frozenset(static_phase.proofs)
 
         pattern_phase: PatternPhaseResult | None = None
         if spec.pattern_source != "none":
@@ -596,8 +770,8 @@ class Campaign:
         atpg_phase: AtpgPhaseResult | None = None
         if spec.run_atpg:
             t0 = time.perf_counter()
-            outcomes, skipped = generate_atpg_outcomes(
-                model, circuit, faults, detected, spec.podem_options
+            outcomes, skipped, proven_skipped = generate_atpg_outcomes(
+                model, circuit, faults, detected, spec.podem_options, proven=proven
             )
             generation_runtime = time.perf_counter() - t0
             atpg_tests = [test for outcome in outcomes for test in outcome.tests]
@@ -621,6 +795,7 @@ class Campaign:
                 report,
                 runtime=time.perf_counter() - t0,
                 generation_runtime=generation_runtime,
+                proven=proven_skipped,
             )
             detected.update(report.detected_faults)
 
@@ -633,6 +808,7 @@ class Campaign:
             pattern_phase,
             atpg_phase,
             runtime=time.perf_counter() - start,
+            static_phase=static_phase,
         )
 
 

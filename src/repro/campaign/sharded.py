@@ -54,11 +54,15 @@ from .runner import (
     CampaignResult,
     CampaignSpec,
     PatternPhaseResult,
+    StaticPhaseResult,
     assemble_result,
     build_atpg_phase,
+    collapse_universe,
     compile_for_engine,
     generate_atpg_outcomes,
     resolve_campaign_circuit,
+    run_lint_gate,
+    run_static_phase,
 )
 
 
@@ -155,12 +159,15 @@ def _shard_pattern_and_generate(
     drop_detected: bool,
     run_atpg: bool,
     podem_options: Optional[PodemOptions],
-) -> tuple[Optional[DetectionReport], list[AtpgOutcome], list[str], float, float]:
+    proven: frozenset[str] = frozenset(),
+) -> tuple[Optional[DetectionReport], list[AtpgOutcome], list[str], list[str], float, float]:
     """Round 1: pattern-phase simulation plus ATPG generation for one shard.
 
-    *tests* is None when the spec has no pattern phase.  Returns the shard's
-    pattern report, its ATPG outcomes and skipped keys (both in universe
-    order), and the shard's (simulation seconds, generation seconds).
+    *tests* is None when the spec has no pattern phase; *proven* carries the
+    parent's static untestability proofs (computed once, never per shard).
+    Returns the shard's pattern report, its ATPG outcomes, skipped keys and
+    proven keys (all in universe order), and the shard's (simulation
+    seconds, generation seconds).
     """
     model = get_model(model_name)
     compiled = _worker_compiled(token, circuit, engine, word_bits)
@@ -176,14 +183,15 @@ def _shard_pattern_and_generate(
         detected.update(report.detected_faults)
     outcomes: list[AtpgOutcome] = []
     skipped: list[str] = []
+    proven_skipped: list[str] = []
     gen_seconds = 0.0
     if run_atpg:
         t0 = time.perf_counter()
-        outcomes, skipped = generate_atpg_outcomes(
-            model, circuit, fault_shard, detected, podem_options
+        outcomes, skipped, proven_skipped = generate_atpg_outcomes(
+            model, circuit, fault_shard, detected, podem_options, proven=proven
         )
         gen_seconds = time.perf_counter() - t0
-    return report, outcomes, skipped, sim_seconds, gen_seconds
+    return report, outcomes, skipped, proven_skipped, sim_seconds, gen_seconds
 
 
 def _shard_resimulate(
@@ -254,11 +262,20 @@ class ShardedCampaign:
         circuit = resolve_campaign_circuit(circuit, spec)
         start = time.perf_counter()
 
-        # Universe building and collapsing stay in the parent: they are cheap,
-        # and the contiguous partition of the *collapsed* list fixes shard
-        # contents (and hence merge order) once and for all.
+        # Universe building, collapsing and the static phase stay in the
+        # parent: they are cheap relative to simulation/ATPG, the contiguous
+        # partition of the *collapsed* list fixes shard contents (and hence
+        # merge order) once and for all, and running lint + proofs exactly
+        # once keeps the proof set -- and the deterministic shard-order sum
+        # of per-shard proven counts -- identical to the single-process run.
+        lint = run_lint_gate(circuit) if spec.static_phase else None
         universe = model.build_universe(circuit, **spec.universe_options)
-        faults = model.collapse(circuit, universe) if spec.collapse else universe
+        faults = collapse_universe(model, circuit, universe, spec.collapse)
+        static_phase: Optional[StaticPhaseResult] = None
+        proven: frozenset[str] = frozenset()
+        if spec.static_phase:
+            static_phase = run_static_phase(model, circuit, faults, lint=lint)
+            proven = frozenset(static_phase.proofs)
         shard_lists = [s for s in partition_faults(faults, self.shards) if s]
 
         tests: Optional[list] = None
@@ -273,7 +290,7 @@ class ShardedCampaign:
                     _shard_pattern_and_generate,
                     token, circuit, model.name, spec.engine, spec.word_bits,
                     tests, shard, spec.drop_detected, spec.run_atpg,
-                    spec.podem_options,
+                    spec.podem_options, proven,
                 )
                 for shard in shard_lists
             ]
@@ -295,7 +312,7 @@ class ShardedCampaign:
                     coverage=coverage_from_report(model.name, report),
                     # Aggregate worker time, comparable to the sequential
                     # phase cost (not the parallel wall time).
-                    runtime=sum(r[3] for r in results),
+                    runtime=sum(r[4] for r in results),
                 )
                 detected.update(report.detected_faults)
 
@@ -303,7 +320,11 @@ class ShardedCampaign:
             if spec.run_atpg:
                 outcomes = [o for r in results for o in r[1]]
                 skipped = [k for r in results for k in r[2]]
-                generation_runtime = sum(r[4] for r in results)
+                # Shard-order concatenation == universe order (contiguous
+                # shards), so the proven list and its count merge
+                # deterministically no matter the worker schedule.
+                proven_skipped = [k for r in results for k in r[3]]
+                generation_runtime = sum(r[5] for r in results)
                 atpg_tests = [test for outcome in outcomes for test in outcome.tests]
                 if spec.drop_detected:
                     sim_faults = faults.filtered(lambda f: f.key not in detected)
@@ -333,6 +354,7 @@ class ShardedCampaign:
                     report,
                     runtime=generation_runtime + sum(r[1] for r in resim),
                     generation_runtime=generation_runtime,
+                    proven=proven_skipped,
                 )
         finally:
             if owns_pool:
@@ -347,6 +369,7 @@ class ShardedCampaign:
             pattern_phase,
             atpg_phase,
             runtime=time.perf_counter() - start,
+            static_phase=static_phase,
         )
 
 

@@ -85,6 +85,8 @@ class SuiteEntry:
             {
                 "faults": len(result.faults),
                 "detected": coverage.detected,
+                "untestable": coverage.untestable,
+                "proven_static": coverage.proven_static,
                 "coverage": coverage.coverage,
                 "num_tests": num_tests,
                 "compacted_tests": result.compaction.size if result.compaction else None,
@@ -100,8 +102,9 @@ class SuiteEntry:
 #: Column order of the consolidated CSV (superset of every row's keys).
 SUITE_CSV_COLUMNS = (
     "index", "circuit", "model", "engine", "shards", "pattern_source", "ok",
-    "faults", "detected", "coverage", "num_tests", "compacted_tests",
-    "runtime_s", "fault_tests_per_second", "error",
+    "faults", "detected", "untestable", "proven_static", "coverage",
+    "num_tests", "compacted_tests", "runtime_s", "fault_tests_per_second",
+    "error",
 )
 
 

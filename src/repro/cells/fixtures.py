@@ -11,7 +11,6 @@ under test, and loads the gate output with a two-inverter chain.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from ..logic.gates import GateType, evaluate_gate
 from ..spice.elements import PiecewiseLinearWaveform

@@ -13,12 +13,12 @@
 """
 
 from .breakdown import (
-    BreakdownParameters,
-    BreakdownStage,
     NMOS_STAGE_PARAMETERS,
     PMOS_STAGE_PARAMETERS,
     TABLE1_NMOS_STAGES,
     TABLE1_PMOS_STAGES,
+    BreakdownParameters,
+    BreakdownStage,
     stage_ladder,
     stage_parameters,
 )

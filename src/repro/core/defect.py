@@ -8,7 +8,7 @@ electrical parameters).  The circuit-level realization of the defect lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from .breakdown import BreakdownParameters, BreakdownStage, stage_parameters

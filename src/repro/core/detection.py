@@ -10,9 +10,9 @@ test requirements of intra-gate electromigration (EM) defects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from ..logic.gates import GateType
 from .excitation import (

@@ -15,7 +15,7 @@ The injected network follows Figure 3b of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable
 
 from ..cells.builder import CellInstance, TransistorSite
 from ..cells.fixtures import GateHarness

@@ -18,8 +18,7 @@ the discrete stages of Table 1.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from .breakdown import BreakdownParameters, BreakdownStage, stage_ladder
 

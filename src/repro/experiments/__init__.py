@@ -9,7 +9,7 @@ from .adder_stats import AdderStatsResult, run_adder_stats
 from .atpg_complexity import AtpgComplexityResult, run_atpg_complexity
 from .common import GateDelayEntry, measure_gate_obd_delay
 from .em_comparison import EmComparisonResult, run_em_comparison
-from .fig4_vtc import Fig4Result, FIGURE4_STAGES, run_fig4
+from .fig4_vtc import FIGURE4_STAGES, Fig4Result, run_fig4
 from .fig6_nmos_nand import Fig6Result, run_fig6
 from .fig7_pmos_nand import Fig7Result, run_fig7
 from .fig9_full_adder import Fig9Result, run_fig9

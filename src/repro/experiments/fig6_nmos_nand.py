@@ -15,7 +15,7 @@ from ..analysis.delay import TransitionMeasurement
 from ..cells.characterize import characterize_harness
 from ..cells.fixtures import build_nand_harness
 from ..cells.technology import Technology, default_technology
-from ..core.breakdown import BreakdownStage, TABLE1_NMOS_STAGES
+from ..core.breakdown import TABLE1_NMOS_STAGES, BreakdownStage
 from ..core.defect import OBDDefect
 from ..core.injection import harness_preparer
 from ..spice.waveform import Waveform

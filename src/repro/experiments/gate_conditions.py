@@ -10,18 +10,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.detection import (
-    GateTestSet,
     NAND2_PAPER_FALLING_ALTERNATIVES,
     NAND2_PAPER_PA_SEQUENCE,
     NAND2_PAPER_PB_SEQUENCE,
     NOR2_PAPER_NA_SEQUENCE,
     NOR2_PAPER_NB_SEQUENCE,
     NOR2_PAPER_RISING_ALTERNATIVES,
+    GateTestSet,
     analyze_gate,
     paper_nand_test_set,
     paper_nor_test_set,
 )
-from ..core.excitation import format_sequence
 
 
 @dataclass

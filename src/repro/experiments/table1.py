@@ -18,11 +18,11 @@ late stages degrade into stuck-at-like behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..cells.technology import Technology, default_technology
-from ..core.breakdown import BreakdownStage, TABLE1_NMOS_STAGES, TABLE1_PMOS_STAGES
+from ..core.breakdown import TABLE1_NMOS_STAGES, TABLE1_PMOS_STAGES, BreakdownStage
 from ..core.excitation import format_sequence
 from .common import DEFAULT_CAPTURE_WINDOW, DEFAULT_DT, GateDelayEntry, measure_gate_obd_delay
 

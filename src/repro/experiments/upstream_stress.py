@@ -15,7 +15,7 @@ from typing import Sequence
 
 from ..cells.fixtures import build_nand_harness
 from ..cells.technology import Technology, default_technology
-from ..core.breakdown import BreakdownStage, TABLE1_NMOS_STAGES
+from ..core.breakdown import TABLE1_NMOS_STAGES, BreakdownStage
 from ..core.defect import OBDDefect
 from ..core.injection import inject_into_harness
 from ..spice.analysis.op import operating_point

@@ -1,9 +1,14 @@
 """Fault models: stuck-at, transition and path-delay baselines plus OBD."""
 
 from .base import Fault, FaultList
-from .collapse import collapse_ratio, collapse_stuck_at_faults, obd_equivalence_groups
+from .collapse import (
+    collapse_ratio,
+    collapse_stuck_at_dominance,
+    collapse_stuck_at_faults,
+    obd_equivalence_groups,
+)
 from .obd import ObdFault, obd_fault_universe
-from .path_delay import FALLING, PathDelayFault, RISING, is_sensitized, path_delay_universe
+from .path_delay import FALLING, RISING, PathDelayFault, is_sensitized, path_delay_universe
 from .stuck_at import StuckAtFault, stuck_at_universe
 from .transition import (
     SLOW_TO_FALL,
@@ -29,6 +34,7 @@ __all__ = [
     "ObdFault",
     "obd_fault_universe",
     "collapse_stuck_at_faults",
+    "collapse_stuck_at_dominance",
     "collapse_ratio",
     "obd_equivalence_groups",
 ]

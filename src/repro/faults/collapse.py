@@ -58,6 +58,58 @@ def collapse_stuck_at_faults(circuit: LogicCircuit) -> FaultList[StuckAtFault]:
     return FaultList(survivors)
 
 
+def collapse_stuck_at_dominance(circuit: LogicCircuit) -> FaultList[StuckAtFault]:
+    """Equivalence *plus* guarded dominance-collapsed stuck-at fault list.
+
+    On top of :func:`collapse_stuck_at_faults`, drops each gate-output fault
+    that *dominates* the gate's input faults: for a gate with controlling
+    value ``c``, every test for an input stuck at ``1 - c`` sets that input
+    to ``c`` and the others to ``1 - c`` and observes the gate output, so it
+    also detects the output stuck at the all-noncontrolling response (e.g.
+    ``AND -> out/sa1``, ``OR -> out/sa0``).  Targeting only the dominated
+    input faults therefore still covers the output fault.
+
+    Dominance is only sound for the *per-net* fault model under structural
+    guards; the drop is applied when
+
+    * the gate has at least two distinct inputs and a controlling value,
+    * every input net's only load is this gate (with other fan-out, an input
+      difference can reach an output without sensitizing this gate, so the
+      dominance argument breaks), and
+    * no input net is itself a primary output (its fault is then observable
+      without going through the gate at all).
+
+    The remaining caveat is classical: in a redundant circuit every dominated
+    input fault may be untestable while the dropped output fault is testable,
+    in which case a test set targeting the collapsed list can miss it.  The
+    property suite cross-checks full-universe coverage of collapsed-universe
+    campaigns on the generator families.
+    """
+    base = collapse_stuck_at_faults(circuit)
+    loads: dict[str, set[str]] = defaultdict(set)
+    for gate in circuit:
+        for net in gate.inputs:
+            loads[net].add(gate.name)
+    outputs = set(circuit.primary_outputs)
+
+    removed: set[str] = set()
+    for gate in circuit:
+        ctrl = controlling_value(gate.gate_type)
+        if ctrl is None:
+            continue
+        distinct = tuple(dict.fromkeys(gate.inputs))
+        if len(distinct) < 2:
+            continue
+        if any(net in outputs for net in distinct):
+            continue
+        if any(loads[net] != {gate.name} for net in distinct):
+            continue
+        response = evaluate_gate(gate.gate_type, [1 - ctrl] * len(gate.inputs))
+        removed.add(StuckAtFault(gate.output, response).key)
+
+    return FaultList([f for f in base if f.key not in removed])
+
+
 def collapse_ratio(circuit: LogicCircuit) -> float:
     """Collapsed / uncollapsed stuck-at fault count ratio."""
     total = len(stuck_at_universe(circuit))

@@ -154,6 +154,9 @@ def parse_bench(text: str, name: str = "") -> LogicCircuit:
     #: Source line of each gate statement, keyed by the statement's output
     #: net (decomposed aux gates map back through their ``__d`` base name).
     statement_lines: dict[str, int] = {}
+    #: First line that defined each net (INPUT declaration or assignment),
+    #: so redefinition errors can name both the net and its first driver.
+    defined_lines: dict[str, int] = {}
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = _strip(raw)
         if not line:
@@ -163,11 +166,20 @@ def parse_bench(text: str, name: str = "") -> LogicCircuit:
             kind, net = decl.group(1).upper(), decl.group(2)
             try:
                 if kind == "INPUT":
+                    if net in defined_lines:
+                        raise _error(
+                            line_no,
+                            f"net {net!r} redefined: first defined at line "
+                            f"{defined_lines[net]}",
+                        )
                     circuit.add_input(net)
+                    defined_lines[net] = line_no
                 else:
                     circuit.add_output(net)
                     outputs.append((line_no, net))
             except LogicCircuitError as exc:
+                if str(exc).startswith(".bench line"):
+                    raise
                 raise _error(line_no, str(exc)) from None
             continue
         gate = _GATE_RE.match(line)
@@ -177,9 +189,14 @@ def parse_bench(text: str, name: str = "") -> LogicCircuit:
         inputs = [a.strip() for a in arg_text.split(",")] if arg_text else []
         if any(not a for a in inputs) or not inputs:
             raise _error(line_no, f"malformed input list in {line!r}")
-        if circuit.driver_of(output) is not None:
-            raise _error(line_no, f"net {output!r} is already driven")
+        if output in defined_lines:
+            raise _error(
+                line_no,
+                f"net {output!r} is already driven (first defined at line "
+                f"{defined_lines[output]})",
+            )
         statement_lines[output] = line_no
+        defined_lines[output] = line_no
         try:
             if op in _FIXED_OPS:
                 gate_type = _FIXED_OPS[op]

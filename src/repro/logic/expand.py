@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 from ..spice.elements import PiecewiseLinearWaveform
 from ..spice.netlist import Circuit
 from .gates import GateType
-from .netlist import Gate, LogicCircuit
+from .netlist import LogicCircuit
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cells/core import logic)
     from ..cells.builder import CellInstance

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from .gates import GateType, evaluate_gate
 
@@ -36,6 +36,11 @@ class CircuitStats:
     #: Histogram of net fan-out: ``{loads: number of nets with that many
     #: loads}``.  Primary outputs with no readers count as zero-load nets.
     fanout_histogram: dict[int, int] = field(default_factory=dict)
+    #: SCOAP testability roll-up (:func:`repro.analysis_static.scoap
+    #: .scoap_summary`): ``max_cc`` / ``mean_cc`` / ``max_co`` / ``mean_co``
+    #: / ``unreachable``.  None unless :meth:`LogicCircuit.stats` was asked
+    #: for it with ``include_scoap=True``.
+    scoap: Optional[dict] = None
 
     @property
     def max_fanout(self) -> int:
@@ -281,11 +286,13 @@ class LogicCircuit:
             stack.extend(self.fanout_nets(current))
         return cone
 
-    def stats(self) -> CircuitStats:
+    def stats(self, include_scoap: bool = False) -> CircuitStats:
         """Structural profile: gate counts by type, depth, fan-out histogram.
 
         One pass over the gates counts loads and types; the depth adds one
         levelization, so the whole profile is linear in gates + pins.
+        ``include_scoap=True`` additionally attaches the SCOAP testability
+        roll-up (two more topological passes) as :attr:`CircuitStats.scoap`.
         """
         gate_counts: dict[str, int] = {}
         loads = {net: 0 for net in self.nets()}
@@ -296,6 +303,12 @@ class LogicCircuit:
         fanout_histogram: dict[int, int] = {}
         for count in loads.values():
             fanout_histogram[count] = fanout_histogram.get(count, 0) + 1
+        scoap = None
+        if include_scoap:
+            # Function-level import: analysis_static sits on top of logic.
+            from ..analysis_static.scoap import scoap_summary
+
+            scoap = scoap_summary(self)
         return CircuitStats(
             name=self.name,
             num_inputs=len(self._inputs),
@@ -305,6 +318,7 @@ class LogicCircuit:
             depth=self.depth,
             gate_counts=gate_counts,
             fanout_histogram=fanout_histogram,
+            scoap=scoap,
         )
 
     def summary(self) -> str:

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
-from .gates import GateType
 from .netlist import LogicCircuit, LogicCircuitError
 
 

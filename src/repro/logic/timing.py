@@ -10,7 +10,7 @@ against a clock period.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable
 
 from .gates import GateType
 from .netlist import Gate, LogicCircuit

@@ -11,7 +11,6 @@ from ..elements import StampContext
 from ..errors import AnalysisError, ConvergenceError
 from ..netlist import Circuit
 from ..waveform import Waveform
-from .mna import MnaSystem
 from .op import operating_point
 from .solver import SolverOptions, newton_solve
 

@@ -1,8 +1,8 @@
 """Circuit elements understood by the MNA engine."""
 
-from .base import Element, StampContext, Stamper, GROUND_NAMES, is_ground
+from .base import GROUND_NAMES, Element, StampContext, Stamper, is_ground
 from .capacitor import Capacitor
-from .diode import Diode, DiodeModel, THERMAL_VOLTAGE
+from .diode import THERMAL_VOLTAGE, Diode, DiodeModel
 from .mosfet import Mosfet, MosfetModel, MosfetOperatingPoint
 from .resistor import Resistor
 from .sources import (

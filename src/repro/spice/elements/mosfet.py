@@ -11,7 +11,7 @@ the constant capacitances a cell builder should attach as explicit
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .base import Element, StampContext, Stamper
 

@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-import copy
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from .elements import (
     Capacitor,

@@ -15,7 +15,7 @@ into the concrete detection window and its sensitivity to the capture slack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..core.breakdown import BreakdownStage
 from ..core.progression import ProgressionModel

@@ -15,12 +15,13 @@ from repro.campaign import (
     resolve_circuit,
     run_campaign,
 )
+from repro.faults import obd_fault_universe
 from repro.logic import (
     GENERATOR_FAMILIES,
+    OBD_DAG_GATE_TYPES,
     GateType,
     LogicCircuit,
     LogicCircuitError,
-    OBD_DAG_GATE_TYPES,
     alu_slice,
     array_multiplier,
     c17,
@@ -39,7 +40,6 @@ from repro.logic import (
     two_to_one_mux,
     write_bench,
 )
-from repro.faults import obd_fault_universe
 
 
 def _int_pattern(value: int, bits: int) -> list[int]:
@@ -165,9 +165,12 @@ class TestParseBenchErrors:
             ("INPUT(a)\nOUTPUT(y)\ny = NOT(a, a)\n", "expects 1 input"),
             ("INPUT(a)\nOUTPUT(y)\nthis is not bench\n", "unparseable"),
             ("INPUT(a)\nOUTPUT(y)\ny = AND(a, )\n", "malformed input list"),
-            ("INPUT(a)\nINPUT(a)\n", "already declared"),
+            ("INPUT(a)\nINPUT(a)\n", "net 'a' redefined: first defined at line 1"),
             ("OUTPUT(y)\nOUTPUT(y)\n", "already declared"),
-            ("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n", "already driven"),
+            (
+                "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n",
+                "net 'y' is already driven .first defined at line 3",
+            ),
             ("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", "undriven net"),
             ("OUTPUT(y)\n", "not driven"),
             ("INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = NOT(y)\n", "loop"),

@@ -8,18 +8,18 @@ import pytest
 
 from repro.atpg import greedy_compaction, run_obd_atpg, simulate_obd
 from repro.campaign import (
+    SINGLE_PATTERN,
+    TWO_PATTERN,
     Campaign,
     CampaignError,
     CampaignSpec,
-    SINGLE_PATTERN,
-    TWO_PATTERN,
     get_model,
     register_model,
     registered_models,
     run_campaign,
 )
 from repro.faults import obd_fault_universe, stuck_at_universe
-from repro.logic import GateType, full_adder_sum
+from repro.logic import GateType
 
 
 class TestRegistry:

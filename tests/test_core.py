@@ -5,16 +5,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cells import build_nand_harness, default_technology
+from repro.cells import build_nand_harness
 from repro.core import (
+    NMOS_STAGE_PARAMETERS,
+    PMOS_STAGE_PARAMETERS,
     BreakdownParameters,
     BreakdownStage,
-    NMOS_STAGE_PARAMETERS,
     OBDDefect,
-    PMOS_STAGE_PARAMETERS,
     ProgressionModel,
-    analyze_gate,
     all_sequences,
+    analyze_gate,
     compare_em_and_obd,
     defect_sites_for_gate,
     excitation_conditions,

@@ -45,7 +45,7 @@ from repro.faults import (
     stuck_at_universe,
     transition_fault_universe,
 )
-from repro.logic import GateType, full_adder_sum, simulate_pattern, two_to_one_mux
+from repro.logic import GateType, simulate_pattern, two_to_one_mux
 
 
 class TestFaultModels:

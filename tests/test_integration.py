@@ -6,11 +6,12 @@ they take more than a couple of seconds.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.analysis.vtc import analyze_vtc
 from repro.atpg import generate_obd_test
-from repro.cells import build_nand_harness, build_inverter_dc_circuit, characterize_harness
+from repro.cells import build_inverter_dc_circuit, build_nand_harness, characterize_harness
 from repro.core import (
     BreakdownStage,
     OBDDefect,
@@ -18,9 +19,8 @@ from repro.core import (
     inject_into_cell,
 )
 from repro.faults import ObdFault
-from repro.logic import GateType, expand_to_transistors, full_adder_sum, simulate_pattern
+from repro.logic import GateType, expand_to_transistors, simulate_pattern
 from repro.spice import dc_sweep, operating_point
-import numpy as np
 
 
 class TestNandDefectDelays:

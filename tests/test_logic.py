@@ -15,23 +15,19 @@ from repro.logic import (
     all_input_patterns,
     all_input_transitions,
     arrival_times,
-    c17,
     controlling_value,
     critical_path_delay,
     enumerate_obd_sites,
     enumerate_paths,
     evaluate_gate,
     expand_to_transistors,
-    full_adder,
-    full_adder_sum,
     longest_path,
     nand_chain,
     output_values,
     per_type_delay_model,
-    ripple_carry_adder,
+    simulate,
     simulate_pattern,
     slack,
-    simulate,
     transitions_between,
     truth_table,
     two_to_one_mux,

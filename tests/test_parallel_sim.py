@@ -23,7 +23,6 @@ from repro.atpg import (
     serial_simulate_transition,
     simulate_obd,
     simulate_stuck_at,
-    simulate_transition,
 )
 from repro.faults import (
     obd_fault_universe,
@@ -34,7 +33,6 @@ from repro.faults import (
 from repro.logic import (
     DEFAULT_WORD_BITS,
     WORD_BITS,
-    CompiledCircuit,
     GateType,
     LogicCircuit,
     LogicCircuitError,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.atpg import (
@@ -24,7 +25,6 @@ from repro.core import (
     BreakdownStage,
     ProgressionModel,
     excited_sites,
-    is_excited_obd,
     is_exercised_em,
     output_switches,
 )
@@ -35,8 +35,8 @@ from repro.faults import (
     transition_fault_universe,
 )
 from repro.logic import (
-    GateType,
     OBD_DAG_GATE_TYPES,
+    GateType,
     array_multiplier,
     carry_lookahead_adder,
     evaluate_gate,
@@ -52,7 +52,6 @@ from repro.logic import (
 from repro.spice import Circuit, operating_point
 from repro.spice.waveform import Waveform
 
-import numpy as np
 
 FA_SUM = full_adder_sum()
 RCA3 = ripple_carry_adder(3)

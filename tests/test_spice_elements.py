@@ -8,6 +8,7 @@ import pytest
 
 from repro.spice import Circuit, CircuitError
 from repro.spice.elements import (
+    THERMAL_VOLTAGE,
     Capacitor,
     Diode,
     DiodeModel,
@@ -16,9 +17,8 @@ from repro.spice.elements import (
     PiecewiseLinearWaveform,
     PulseWaveform,
     Resistor,
-    Stamper,
     StampContext,
-    THERMAL_VOLTAGE,
+    Stamper,
     VoltageSource,
     is_ground,
     two_pattern_waveform,
