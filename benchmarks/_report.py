@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from typing import Any, Optional
 
 
@@ -93,7 +94,22 @@ def write_faultsim_report(path: Optional[str] = None) -> Optional[str]:
             ),
         ),
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    # Atomic write (temp file + os.replace): a benchmark run killed
+    # mid-flush never leaves a truncated BENCH_faultsim.json behind.
+    # Inlined rather than importing repro.ioutil so this helper stays
+    # importable without PYTHONPATH=src.
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=".BENCH_faultsim.", suffix=".tmp", dir=os.path.dirname(path) or "."
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path

@@ -1,0 +1,89 @@
+"""Campaign result-cache benchmark: a warm suite must skip all engine work.
+
+The ``campaign-cache`` group runs one :meth:`CampaignSuite.cross` battery
+twice against the same content-addressed cache directory.  The cold pass
+pays full simulation + ATPG cost and fills the cache; the warm pass must be
+answered from disk on **every** entry (asserted via ``SuiteEntry.cache_hit``)
+and finish at least ``REPRO_BENCH_CACHE_MIN`` times faster (default 10x,
+the tentpole acceptance floor; CI smoke can relax it on noisy runners).
+Warm results are asserted bit-identical to the cold ones, entry by entry.
+
+Workload knobs for smoke mode: ``REPRO_BENCH_CACHE_CIRCUITS`` (space-separated
+circuit refs) and ``REPRO_BENCH_CACHE_PATTERNS`` (pattern-phase size).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.campaign import CampaignSuite
+
+from _report import record_faultsim, report
+
+#: Space-separated circuit references (family args contain commas).
+CIRCUITS = os.environ.get("REPRO_BENCH_CACHE_CIRCUITS", "rdag:200,4 mult:4 rca:6").split()
+MODELS = ("stuck-at", "transition")
+PATTERNS = int(os.environ.get("REPRO_BENCH_CACHE_PATTERNS", "32"))
+#: Minimum cold/warm wall-time ratio for the all-hits pass.
+CACHE_MIN = float(os.environ.get("REPRO_BENCH_CACHE_MIN", "10.0"))
+
+
+def _run_suite(cache_dir) -> tuple:
+    suite = CampaignSuite.cross(
+        CIRCUITS,
+        models=MODELS,
+        pattern_source="random",
+        pattern_count=PATTERNS,
+        seed=5,
+        max_workers=0,
+        cache_dir=cache_dir,
+    )
+    start = time.perf_counter()
+    result = suite.run()
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="campaign-cache")
+def test_warm_suite_is_served_from_cache(benchmark, tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold, cold_seconds = _run_suite(cache_dir)
+    assert not cold.failed, [e.error for e in cold.failed]
+    assert not cold.cache_hits
+
+    warm, warm_seconds = benchmark.pedantic(
+        _run_suite, args=(cache_dir,), rounds=1, iterations=1
+    )
+    assert not warm.failed
+    assert len(warm.cache_hits) == len(warm.entries), "warm pass must hit on every entry"
+    for before, after in zip(cold.entries, warm.entries):
+        assert before.result.as_dict(include_runtime=False) == after.result.as_dict(
+            include_runtime=False
+        )
+
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    rows = [
+        f"campaign-cache: {len(cold.entries)} entries "
+        f"cold {cold_seconds * 1e3:.1f} ms -> warm {warm_seconds * 1e3:.1f} ms "
+        f"({speedup:.1f}x, floor {CACHE_MIN:.1f}x)"
+    ]
+    for entry in cold.entries:
+        record_faultsim(
+            circuit=entry.result.circuit_name,
+            family="cache-suite",
+            engine=entry.spec.engine,
+            model=entry.spec.model,
+            num_faults=len(entry.result.faults),
+            num_tests=entry.result.merged_report.num_tests,
+            seconds=entry.runtime,
+        )
+        rows.append(
+            f"  {entry.spec.circuit} x {entry.spec.model}: "
+            f"{entry.result.merged_report.num_tests} tests, {entry.runtime * 1e3:.1f} ms cold"
+        )
+    report(rows)
+    assert speedup >= CACHE_MIN, (
+        f"warm suite only {speedup:.1f}x faster than cold (floor {CACHE_MIN}x)"
+    )

@@ -15,6 +15,20 @@ with a consolidated JSON/CSV report::
 Sharded and unsharded runs are bit-identical; pass ``--verify`` to prove it
 on the spot (the single-process pipeline is re-run and the reports are
 compared field by field).
+
+Crash-safe runs: ``--checkpoint-dir DIR`` persists each completed shard so a
+killed campaign resumes from where it stopped (``--no-resume`` discards a
+prior checkpoint instead).  Kill-and-resume demo, proven bit-identical by
+the same ``--verify`` path::
+
+    PYTHONPATH=src python examples/sharded_campaign.py \\
+        --circuit mult:4 --shards 8 --checkpoint-dir ckpt &
+    kill -9 $!          # mid-run
+    PYTHONPATH=src python examples/sharded_campaign.py \\
+        --circuit mult:4 --shards 8 --checkpoint-dir ckpt --verify
+
+``--cache-dir DIR`` serves repeated identical runs (single or suite mode)
+from the content-addressed result cache without re-simulating.
 """
 
 from __future__ import annotations
@@ -29,8 +43,8 @@ from repro.campaign import (
     CampaignError,
     CampaignSpec,
     CampaignSuite,
+    ShardedCampaign,
     registered_models,
-    run_sharded_campaign,
 )
 
 
@@ -67,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the single-campaign report JSON here")
     parser.add_argument("--report-dir", metavar="DIR",
                         help="suite mode: write suite_report.json/.csv here")
+    parser.add_argument("--checkpoint-dir", metavar="DIR",
+                        help="persist per-shard checkpoints here; a killed run resumes")
+    parser.add_argument("--resume", action=argparse.BooleanOptionalAction, default=True,
+                        help="reuse checkpoints from --checkpoint-dir (--no-resume "
+                             "discards them and starts fresh)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="serve repeated identical runs from this result cache")
     return parser
 
 
@@ -86,13 +107,39 @@ def spec_from_args(args: argparse.Namespace, circuit: str, model: str) -> Campai
 
 def run_single(args: argparse.Namespace) -> int:
     spec = spec_from_args(args, args.circuit[0], args.model[0])
+    cache = None
+    if args.cache_dir:
+        from repro.service import ResultCache
+
+        cache = ResultCache(args.cache_dir)
     start = time.perf_counter()
-    result = run_sharded_campaign(spec=spec, max_workers=args.workers)
-    wall = time.perf_counter() - start
-    print(result.describe())
-    throughput = len(result.faults) * result.merged_report.num_tests / wall
-    print(f"  sharded wall time: {wall * 1e3:.1f} ms over {spec.shards} shard(s) "
-          f"({throughput / 1e3:.1f} Kfault-tests/s)")
+    cache_key, cached = cache.fetch(None, spec) if cache else (None, None)
+    if cached is not None:
+        result = cached
+        wall = time.perf_counter() - start
+        print(result.describe())
+        print(f"  served from cache in {wall * 1e3:.1f} ms ({args.cache_dir})")
+    else:
+        sharded = ShardedCampaign(
+            spec,
+            max_workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        )
+        result = sharded.run()
+        wall = time.perf_counter() - start
+        if cache:
+            cache.put(cache_key, result)
+        print(result.describe())
+        throughput = len(result.faults) * result.merged_report.num_tests / wall
+        print(f"  sharded wall time: {wall * 1e3:.1f} ms over {spec.shards} shard(s) "
+              f"({throughput / 1e3:.1f} Kfault-tests/s)")
+        if sharded.checkpoint_summary:
+            summary = sharded.checkpoint_summary
+            loaded = summary["round1_loaded"] + summary["round2_loaded"]
+            stored = summary["round1_stored"] + summary["round2_stored"]
+            print(f"  checkpoint: resumed {loaded} shard record(s), "
+                  f"computed {stored} ({args.checkpoint_dir})")
     if args.verify:
         base = Campaign(spec).run()
         same = base.as_dict(include_runtime=False) == result.as_dict(include_runtime=False)
@@ -118,9 +165,13 @@ def run_suite(args: argparse.Namespace) -> int:
         collapse=args.collapse,
         shards=args.shards,
         max_workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     result = suite.run()
     print(result.describe())
+    if args.cache_dir:
+        print(f"  cache hits: {len(result.cache_hits)}/{len(result.entries)} "
+              f"entries ({args.cache_dir})")
     if args.verify:
         mismatches = [
             entry.spec.circuit

@@ -37,8 +37,8 @@ from __future__ import annotations
 import itertools
 import os
 import time
-from concurrent.futures import Executor, Future, ProcessPoolExecutor
-from typing import Optional, Sequence
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, as_completed
+from typing import Callable, Optional, Sequence
 
 from ..atpg.compaction import merge_fault_shards
 from ..atpg.coverage import coverage_from_report
@@ -217,6 +217,51 @@ def _shard_resimulate(
 # --------------------------------------------------------------------------- #
 # Parent-side executor.
 # --------------------------------------------------------------------------- #
+def _collect_round(
+    tasks: Sequence[tuple[int, Callable[[], Future]]],
+    load: Optional[Callable[[int], Optional[tuple]]],
+    save: Optional[Callable[[int, tuple], None]],
+) -> list[tuple]:
+    """Run one shard round, mixing checkpointed and freshly computed shards.
+
+    *tasks* pairs each shard index with a thunk that submits its worker
+    task; *load* returns a checkpointed record (or None) and *save*
+    persists one -- both None when checkpointing is off.  Results are
+    persisted **as they complete** (not at round end), so a crash mid-round
+    loses only the still-running shards; if collecting a result raises, the
+    already-finished shards are persisted before the exception propagates.
+    The returned list is ordered by shard index, exactly as if every shard
+    had been computed in submit order.
+    """
+    results: dict[int, tuple] = {}
+    pending: dict[Future, int] = {}
+    written: set[int] = set()
+
+    def _save(index: int, record: tuple) -> None:
+        if save is not None and index not in written:
+            save(index, record)
+            written.add(index)
+
+    try:
+        for index, submit in tasks:
+            record = load(index) if load is not None else None
+            if record is not None:
+                results[index] = record
+            else:
+                pending[submit()] = index
+        for future in as_completed(pending):
+            index = pending[future]
+            record = future.result()
+            _save(index, record)
+            results[index] = record
+    except BaseException:
+        for future, index in pending.items():
+            if future.done() and not future.cancelled() and future.exception() is None:
+                _save(index, future.result())
+        raise
+    return [results[index] for index in sorted(results)]
+
+
 class ShardedCampaign:
     """Fault-sharded, multi-process form of :class:`~repro.campaign.Campaign`.
 
@@ -226,6 +271,17 @@ class ShardedCampaign:
     handy for tests and one-CPU machines).  Pass *pool* to reuse an external
     executor across campaigns (e.g. the shared pool of a
     :class:`~repro.campaign.suite.CampaignSuite`); it is not shut down here.
+
+    ``checkpoint_dir`` enables crash-safe shard checkpointing through a
+    :class:`~repro.service.checkpoint.CheckpointStore`: every completed
+    shard task is persisted (atomically) as its result arrives, and a rerun
+    pointed at the same directory loads the completed shards instead of
+    recomputing them -- the deterministic universe-order merge makes the
+    resumed result bit-identical to an uninterrupted run.  With ``resume``
+    (the default) existing checkpoints are reused after validating the
+    campaign fingerprint; ``resume=False`` clears them first.  After
+    :meth:`run`, :attr:`checkpoint_summary` reports how many shard records
+    each round loaded from disk vs computed.
     """
 
     def __init__(
@@ -235,6 +291,8 @@ class ShardedCampaign:
         shards: Optional[int] = None,
         max_workers: Optional[int] = None,
         pool: Optional[Executor] = None,
+        checkpoint_dir: str | os.PathLike | None = None,
+        resume: bool = True,
     ):
         spec.validate()
         self.spec = spec
@@ -244,6 +302,11 @@ class ShardedCampaign:
             raise CampaignError(f"shards must be >= 1, got {self.shards}")
         self.max_workers = max_workers
         self.pool = pool
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        #: Filled by :meth:`run` when checkpointing is on (see
+        #: :meth:`repro.service.checkpoint.CheckpointStore.summary`).
+        self.checkpoint_summary: Optional[dict] = None
 
     def _executor(self, num_shards: int) -> tuple[Executor, bool]:
         """The executor to use and whether this run owns (must shut down) it."""
@@ -282,19 +345,50 @@ class ShardedCampaign:
         if spec.pattern_source != "none":
             tests = list(Campaign(spec).patterns_for(circuit))
 
+        store = None
+        if self.checkpoint_dir is not None:
+            # Imported lazily: the service layer sits on top of this package.
+            from ..service.checkpoint import CheckpointStore
+            from ..service.fingerprint import campaign_fingerprint
+
+            store = CheckpointStore(self.checkpoint_dir)
+            store.prepare(
+                campaign_fingerprint(circuit, spec), self.shards, resume=self.resume
+            )
+
         token = _new_token()
         executor, owns_pool = self._executor(max(1, len(shard_lists)))
         try:
-            round1 = [
-                executor.submit(
-                    _shard_pattern_and_generate,
-                    token, circuit, model.name, spec.engine, spec.word_bits,
-                    tests, shard, spec.drop_detected, spec.run_atpg,
-                    spec.podem_options, proven,
-                )
-                for shard in shard_lists
-            ]
-            results = [f.result() for f in round1]
+            num_pattern_tests = len(tests) if tests is not None else None
+            results = _collect_round(
+                [
+                    (
+                        index,
+                        lambda shard=shard: executor.submit(
+                            _shard_pattern_and_generate,
+                            token, circuit, model.name, spec.engine, spec.word_bits,
+                            tests, shard, spec.drop_detected, spec.run_atpg,
+                            spec.podem_options, proven,
+                        ),
+                    )
+                    for index, shard in enumerate(shard_lists)
+                ],
+                load=(
+                    (
+                        lambda index: store.load_round1(
+                            index, shard_lists[index], model.pattern_kind,
+                            num_pattern_tests,
+                        )
+                    )
+                    if store
+                    else None
+                ),
+                save=(
+                    (lambda index, rec: store.store_round1(index, shard_lists[index], rec))
+                    if store
+                    else None
+                ),
+            )
 
             pattern_phase: Optional[PatternPhaseResult] = None
             detected: set[str] = set()
@@ -330,16 +424,39 @@ class ShardedCampaign:
                     sim_faults = faults.filtered(lambda f: f.key not in detected)
                 else:
                     sim_faults = faults
-                round2 = [
-                    executor.submit(
-                        _shard_resimulate,
-                        token, circuit, model.name, spec.engine, spec.word_bits,
-                        atpg_tests, shard, spec.drop_detected,
-                    )
-                    for shard in partition_faults(sim_faults, self.shards)
-                    if shard
-                ]
-                resim = [f.result() for f in round2]
+                resim_shards = [s for s in partition_faults(sim_faults, self.shards) if s]
+                resim = _collect_round(
+                    [
+                        (
+                            index,
+                            lambda shard=shard: executor.submit(
+                                _shard_resimulate,
+                                token, circuit, model.name, spec.engine,
+                                spec.word_bits, atpg_tests, shard,
+                                spec.drop_detected,
+                            ),
+                        )
+                        for index, shard in enumerate(resim_shards)
+                    ],
+                    load=(
+                        (
+                            lambda index: store.load_round2(
+                                index, resim_shards[index], len(atpg_tests)
+                            )
+                        )
+                        if store
+                        else None
+                    ),
+                    save=(
+                        (
+                            lambda index, rec: store.store_round2(
+                                index, resim_shards[index], rec
+                            )
+                        )
+                        if store
+                        else None
+                    ),
+                )
                 if resim:
                     report = merge_fault_shards(
                         [r[0] for r in resim], fault_order=sim_faults.keys()
@@ -357,6 +474,8 @@ class ShardedCampaign:
                     proven=proven_skipped,
                 )
         finally:
+            if store is not None:
+                self.checkpoint_summary = store.summary()
             if owns_pool:
                 executor.shutdown()
 
@@ -380,6 +499,8 @@ def run_sharded_campaign(
     shards: Optional[int] = None,
     max_workers: Optional[int] = None,
     pool: Optional[Executor] = None,
+    checkpoint_dir: str | os.PathLike | None = None,
+    resume: bool = True,
     **spec_kwargs,
 ) -> CampaignResult:
     """One-call convenience mirroring :func:`~repro.campaign.run_campaign`.
@@ -387,7 +508,9 @@ def run_sharded_campaign(
     Builds a spec (or takes one), partitions the fault universe into
     *shards* (default: the spec's ``shards`` field) and runs the campaign
     across worker processes; the result is bit-identical to the
-    single-process :func:`~repro.campaign.run_campaign`.
+    single-process :func:`~repro.campaign.run_campaign`.  *checkpoint_dir*
+    persists every completed shard so a killed run resumes where it left
+    off (see :class:`ShardedCampaign`).
     """
     if spec is not None and spec_kwargs:
         raise CampaignError("pass either a CampaignSpec or keyword fields, not both")
@@ -396,5 +519,7 @@ def run_sharded_campaign(
         shards=shards,
         max_workers=max_workers,
         pool=pool,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
     return executor.run(circuit)

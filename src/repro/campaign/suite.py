@@ -13,6 +13,13 @@ process pools are never created).
 product of circuits x models x engines, and :class:`SuiteResult` emits the
 consolidated JSON / CSV report the scale benchmarks and CI artifacts
 consume.
+
+With ``cache_dir`` every entry consults the content-addressed
+:class:`~repro.service.cache.ResultCache` before doing any engine work and
+stores its result afterwards, so re-running a battery (or sharing the
+directory across batteries and the campaign service) answers repeated
+entries from disk; :attr:`SuiteEntry.cache_hit` and the consolidated
+report record which entries were free.
 """
 
 from __future__ import annotations
@@ -22,42 +29,74 @@ import io
 import json
 import os
 import time
+import traceback as traceback_module
 from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Iterable, Optional, Sequence
 
+from ..ioutil import atomic_write_text
 from .errors import CampaignError
 from .runner import Campaign, CampaignResult, CampaignSpec
 from .sharded import InlineExecutor, ShardedCampaign
 
 
-def _run_suite_entry(index: int, spec: CampaignSpec) -> tuple[int, Optional[CampaignResult], Optional[str], float]:
+def _run_suite_entry(
+    index: int, spec: CampaignSpec, cache_dir: Optional[str] = None
+) -> tuple[int, Optional[CampaignResult], Optional[str], float, bool, Optional[str]]:
     """Worker task: run one campaign, trapping per-entry failures.
 
     A failing entry (unknown circuit, degenerate builder size, ...) is
-    reported in the consolidated result instead of poisoning the battery.
+    reported in the consolidated result -- message plus full traceback for
+    post-mortem debugging -- instead of poisoning the battery.  With
+    *cache_dir* the result cache is consulted first and fed afterwards;
+    the returned flag records whether the entry was a cache hit.
     """
     start = time.perf_counter()
     try:
+        cache = key = None
+        if cache_dir is not None:
+            # Imported lazily: the service layer sits on top of this package.
+            from ..service.cache import ResultCache
+
+            cache = ResultCache(cache_dir)
+            key, cached = cache.fetch(None, spec)
+            if cached is not None:
+                return index, cached, None, time.perf_counter() - start, True, None
         if spec.shards > 1:
             result = ShardedCampaign(spec, pool=InlineExecutor()).run()
         else:
             result = Campaign(spec).run()
-        return index, result, None, time.perf_counter() - start
+        if cache is not None:
+            cache.put(key, result)
+        return index, result, None, time.perf_counter() - start, False, None
     except Exception as exc:
-        return index, None, f"{type(exc).__name__}: {exc}", time.perf_counter() - start
+        return (
+            index,
+            None,
+            f"{type(exc).__name__}: {exc}",
+            time.perf_counter() - start,
+            False,
+            traceback_module.format_exc(),
+        )
 
 
 @dataclass
 class SuiteEntry:
-    """Outcome of one battery member: a result or an error, never both."""
+    """Outcome of one battery member: a result or an error, never both.
+
+    Failed entries keep the full worker-side ``traceback`` text alongside
+    the one-line ``error`` summary; ``cache_hit`` marks entries answered
+    from the result cache without any simulation or ATPG work.
+    """
 
     index: int
     spec: CampaignSpec
     result: Optional[CampaignResult]
     error: Optional[str]
     runtime: float
+    cache_hit: bool = False
+    traceback: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -73,10 +112,12 @@ class SuiteEntry:
             "shards": self.spec.shards,
             "pattern_source": self.spec.pattern_source,
             "ok": self.ok,
+            "cache_hit": self.cache_hit,
             "runtime_s": self.runtime,
         }
         if self.result is None:
             row["error"] = self.error
+            row["traceback"] = self.traceback
             return row
         result = self.result
         coverage = result.coverage
@@ -99,12 +140,13 @@ class SuiteEntry:
         return row
 
 
-#: Column order of the consolidated CSV (superset of every row's keys).
+#: Column order of the consolidated CSV (superset of every row's keys; the
+#: multi-line traceback stays JSON-only).
 SUITE_CSV_COLUMNS = (
     "index", "circuit", "model", "engine", "shards", "pattern_source", "ok",
-    "faults", "detected", "untestable", "proven_static", "coverage",
-    "num_tests", "compacted_tests", "runtime_s", "fault_tests_per_second",
-    "error",
+    "cache_hit", "faults", "detected", "untestable", "proven_static",
+    "coverage", "num_tests", "compacted_tests", "runtime_s",
+    "fault_tests_per_second", "error",
 )
 
 
@@ -129,12 +171,17 @@ class SuiteResult:
     def rows(self) -> list[dict[str, Any]]:
         return [entry.row() for entry in self.entries]
 
+    @property
+    def cache_hits(self) -> list[SuiteEntry]:
+        return [e for e in self.entries if e.cache_hit]
+
     def as_dict(self) -> dict[str, Any]:
         return {
-            "schema": "repro/campaign-suite/1",
+            "schema": "repro/campaign-suite/2",
             "campaigns": len(self.entries),
             "ok": len(self.ok),
             "failed": len(self.failed),
+            "cache_hits": len(self.cache_hits),
             "runtime_s": self.runtime,
             "rows": self.rows(),
         }
@@ -152,13 +199,14 @@ class SuiteResult:
         return buffer.getvalue()
 
     def write_report(self, directory: str | os.PathLike, stem: str = "suite_report") -> tuple[Path, Path]:
-        """Write ``<stem>.json`` and ``<stem>.csv`` under *directory*."""
+        """Write ``<stem>.json`` and ``<stem>.csv`` under *directory*.
+
+        Both files are written atomically (temp file + ``os.replace``), so
+        a battery killed mid-write never leaves a truncated report behind.
+        """
         out = Path(directory)
-        out.mkdir(parents=True, exist_ok=True)
-        json_path = out / f"{stem}.json"
-        csv_path = out / f"{stem}.csv"
-        json_path.write_text(self.to_json() + "\n", encoding="utf-8")
-        csv_path.write_text(self.to_csv(), encoding="utf-8")
+        json_path = atomic_write_text(out / f"{stem}.json", self.to_json() + "\n")
+        csv_path = atomic_write_text(out / f"{stem}.csv", self.to_csv())
         return json_path, csv_path
 
     def describe(self) -> str:
@@ -180,6 +228,7 @@ class SuiteResult:
                         else ""
                     )
                     + f", {row['runtime_s'] * 1e3:.0f} ms"
+                    + (" [cached]" if entry.cache_hit else "")
                 )
             else:
                 lines.append(
@@ -196,7 +245,11 @@ class CampaignSuite:
     workers cannot receive live :class:`~repro.logic.netlist.LogicCircuit`
     arguments positionally through the battery API.  ``max_workers=0``
     runs the battery inline (no processes); *pool* reuses an external
-    executor and leaves its lifetime to the caller.
+    executor and leaves its lifetime to the caller.  ``cache_dir`` points
+    every worker at a shared content-addressed result cache (see
+    :mod:`repro.service.cache`): entries already cached are returned
+    without any simulation work and fresh results are stored for the next
+    battery.
     """
 
     def __init__(
@@ -205,6 +258,7 @@ class CampaignSuite:
         *,
         max_workers: Optional[int] = None,
         pool: Optional[Executor] = None,
+        cache_dir: str | os.PathLike | None = None,
     ):
         self.specs = list(specs)
         if not self.specs:
@@ -219,6 +273,7 @@ class CampaignSuite:
                 )
         self.max_workers = max_workers
         self.pool = pool
+        self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
 
     @classmethod
     def cross(
@@ -230,6 +285,7 @@ class CampaignSuite:
         base: Optional[CampaignSpec] = None,
         max_workers: Optional[int] = None,
         pool: Optional[Executor] = None,
+        cache_dir: str | os.PathLike | None = None,
         **spec_kwargs: Any,
     ) -> "CampaignSuite":
         """The cross-product battery: circuits x models x engines.
@@ -255,7 +311,7 @@ class CampaignSuite:
             for model in models
             for engine in engines
         ]
-        return cls(specs, max_workers=max_workers, pool=pool)
+        return cls(specs, max_workers=max_workers, pool=pool, cache_dir=cache_dir)
 
     def run(self) -> SuiteResult:
         """Execute the battery; entry order in the result matches the specs."""
@@ -273,7 +329,7 @@ class CampaignSuite:
                 own_pool = True
         try:
             futures = [
-                executor.submit(_run_suite_entry, index, spec)
+                executor.submit(_run_suite_entry, index, spec, self.cache_dir)
                 for index, spec in enumerate(self.specs)
             ]
             outcomes = [f.result() for f in futures]
@@ -281,8 +337,11 @@ class CampaignSuite:
             if own_pool:
                 executor.shutdown()
         entries = [
-            SuiteEntry(index=i, spec=self.specs[i], result=result, error=error, runtime=rt)
-            for i, result, error, rt in sorted(outcomes)
+            SuiteEntry(
+                index=i, spec=self.specs[i], result=result, error=error,
+                runtime=rt, cache_hit=hit, traceback=tb,
+            )
+            for i, result, error, rt, hit, tb in sorted(outcomes)
         ]
         return SuiteResult(entries=entries, runtime=time.perf_counter() - start)
 
@@ -293,9 +352,11 @@ def run_campaign_suite(
     engines: Sequence[str] = ("packed",),
     *,
     max_workers: Optional[int] = None,
+    cache_dir: str | os.PathLike | None = None,
     **spec_kwargs: Any,
 ) -> SuiteResult:
     """One-call cross-product battery (see :meth:`CampaignSuite.cross`)."""
     return CampaignSuite.cross(
-        circuits, models, engines, max_workers=max_workers, **spec_kwargs
+        circuits, models, engines, max_workers=max_workers, cache_dir=cache_dir,
+        **spec_kwargs,
     ).run()

@@ -1,0 +1,48 @@
+"""Atomic file-write helpers shared by reports, checkpoints and caches.
+
+Every durable artifact this package writes (campaign checkpoints, cached
+results, suite reports, benchmark records) goes through these helpers: the
+payload lands in a temporary file in the destination directory and is moved
+into place with :func:`os.replace`, so readers -- including a resumed
+campaign scanning its checkpoint directory after a SIGKILL -- only ever see
+either the previous complete file or the new complete file, never a
+truncated one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+
+def atomic_write_bytes(path: str | os.PathLike, payload: bytes) -> Path:
+    """Write *payload* to *path* atomically (temp file + ``os.replace``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: str | os.PathLike, text: str, encoding: str = "utf-8") -> Path:
+    """Write *text* to *path* atomically."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: str | os.PathLike, payload: Any, indent: int | None = 2) -> Path:
+    """Serialize *payload* as JSON and write it atomically (trailing newline)."""
+    return atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

@@ -1,0 +1,215 @@
+"""Content-addressed campaign result cache.
+
+Campaign results are pure functions of (circuit structure + name, spec,
+code schema version) -- see :mod:`repro.service.fingerprint` -- so a
+repeated request can be answered from disk without touching an engine.
+:class:`ResultCache` stores each :class:`~repro.campaign.runner.
+CampaignResult` pickled under its campaign fingerprint, with a JSON
+sidecar carrying the human-readable metadata the cache report lists.
+
+Writes are atomic (:mod:`repro.ioutil`) and reads validate the embedded
+key and schema version, so a cache directory can be shared by many worker
+processes (the suite and service layers do exactly that): the worst
+concurrent-access outcome is a redundant recompute, never a corrupt or
+wrong result.  Hit/miss/store counters are per-instance; cross-process
+layers aggregate their workers' reported flags instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from ..campaign.runner import CampaignResult, CampaignSpec, resolve_campaign_circuit
+from ..ioutil import atomic_write_bytes, atomic_write_json
+from ..logic.netlist import LogicCircuit
+from .fingerprint import SCHEMA_VERSION, campaign_fingerprint
+
+#: Cache entry file-format version.
+CACHE_SCHEMA = "repro/campaign-cache/1"
+
+
+@dataclass
+class CacheStats:
+    """Per-instance counters of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Pickled campaign results keyed by campaign fingerprint.
+
+    ``schema_version`` defaults to the code's
+    :data:`~repro.service.fingerprint.SCHEMA_VERSION`; entries written
+    under any other version never hit (the version is part of the key *and*
+    revalidated on read), which is the explicit invalidation story for code
+    changes -- bump the constant and every stale entry goes cold at once.
+    """
+
+    directory: str | os.PathLike
+    schema_version: int = SCHEMA_VERSION
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+
+    # ------------------------------------------------------------------ #
+    # Keys and paths.
+    # ------------------------------------------------------------------ #
+    def key_for(self, circuit: LogicCircuit | str | None, spec: CampaignSpec) -> str:
+        """The cache key of (*circuit*, *spec*) under this schema version.
+
+        *circuit* accepts everything :meth:`Campaign.run` does (a live
+        netlist, a reference string, or None to use ``spec.circuit``).
+        """
+        resolved = resolve_campaign_circuit(circuit, spec)
+        return campaign_fingerprint(resolved, spec, schema_version=self.schema_version)
+
+    def _entry_path(self, key: str) -> Path:
+        return Path(self.directory) / f"{key}.pkl"
+
+    def _meta_path(self, key: str) -> Path:
+        return Path(self.directory) / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    # Read / write.
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[CampaignResult]:
+        """The cached result for *key*, or None (counted as hit/miss)."""
+        try:
+            payload = pickle.loads(self._entry_path(key).read_bytes())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Truncation cannot happen (atomic writes); treat anything
+            # unreadable -- foreign files, version skew -- as a miss.
+            self.stats.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA
+            or payload.get("schema_version") != self.schema_version
+            or payload.get("key") != key
+        ):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload["result"]
+
+    def fetch(
+        self, circuit: LogicCircuit | str | None, spec: CampaignSpec
+    ) -> tuple[str, Optional[CampaignResult]]:
+        """Key plus cached result (or None) for one campaign request."""
+        key = self.key_for(circuit, spec)
+        return key, self.get(key)
+
+    def put(self, key: str, result: CampaignResult) -> Path:
+        """Store *result* under *key*; returns the entry path."""
+        path = self._entry_path(key)
+        atomic_write_bytes(
+            path,
+            pickle.dumps(
+                {
+                    "schema": CACHE_SCHEMA,
+                    "schema_version": self.schema_version,
+                    "key": key,
+                    "result": result,
+                }
+            ),
+        )
+        atomic_write_json(
+            self._meta_path(key),
+            {
+                "schema": CACHE_SCHEMA,
+                "schema_version": self.schema_version,
+                "key": key,
+                "model": result.model_name,
+                "circuit": result.circuit_name,
+                "spec_circuit": result.spec.circuit,
+                "engine": result.spec.engine,
+                "seed": result.spec.seed,
+                "faults": len(result.faults),
+                "num_tests": result.merged_report.num_tests,
+                "bytes": path.stat().st_size,
+            },
+        )
+        self.stats.stores += 1
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Invalidation and reporting.
+    # ------------------------------------------------------------------ #
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; True when it existed."""
+        existed = self._entry_path(key).exists()
+        self._entry_path(key).unlink(missing_ok=True)
+        self._meta_path(key).unlink(missing_ok=True)
+        if existed:
+            self.stats.invalidations += 1
+        return existed
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many results were removed."""
+        removed = 0
+        directory = Path(self.directory)
+        if not directory.is_dir():
+            return 0
+        for path in directory.glob("*.pkl"):
+            path.unlink(missing_ok=True)
+            path.with_suffix(".json").unlink(missing_ok=True)
+            removed += 1
+        self.stats.invalidations += removed
+        return removed
+
+    def entries(self) -> list[dict[str, Any]]:
+        """Metadata of every stored entry (from the JSON sidecars)."""
+        directory = Path(self.directory)
+        if not directory.is_dir():
+            return []
+        found = []
+        for path in sorted(directory.glob("*.pkl")):
+            meta_path = path.with_suffix(".json")
+            try:
+                found.append(json.loads(meta_path.read_text(encoding="utf-8")))
+            except (OSError, json.JSONDecodeError):
+                found.append({"key": path.stem, "bytes": path.stat().st_size})
+        return found
+
+    def report(self) -> dict[str, Any]:
+        """Cache-stats report: counters plus the stored-entry inventory."""
+        entries = self.entries()
+        return {
+            "schema": CACHE_SCHEMA,
+            "schema_version": self.schema_version,
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "bytes": sum(e.get("bytes", 0) for e in entries),
+            "stats": self.stats.as_dict(),
+            "inventory": entries,
+        }

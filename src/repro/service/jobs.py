@@ -1,0 +1,425 @@
+"""Asynchronous campaign service: submit / status / result / cancel.
+
+:class:`CampaignService` puts a job queue in front of the campaign
+pipeline so many clients can share one worker pool:
+
+* **FIFO-fair scheduling** -- each client gets its own FIFO queue and a
+  round-robin dispatcher interleaves clients, so one client submitting a
+  thousand jobs cannot starve another's single request.
+* **Crash isolation** -- jobs run in pool processes behind a wrapper that
+  traps every Python exception into a structured :class:`JobError` (type,
+  message, full traceback); a worker process that dies outright (OOM
+  killer, segfault) fails only its job, and the service transparently
+  rebuilds the broken pool for the jobs behind it.
+* **Result cache** -- with ``cache_dir`` every job consults the
+  content-addressed :class:`~repro.service.cache.ResultCache` before doing
+  any engine work, so repeated identical requests are served from disk.
+* **Checkpoints** -- with ``checkpoint_root`` each job shard-checkpoints
+  under a directory derived from its campaign fingerprint, so resubmitting
+  a job that previously crashed resumes from its completed shards.
+
+The synchronous entry points (:meth:`~CampaignService.result`,
+:meth:`~CampaignService.wait_all`) block on per-job events; everything
+else returns immediately.  ``python -m repro.service.cli`` drives a
+service from a directory of JSON job specs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import traceback
+from collections import Counter, deque
+from concurrent.futures import Executor, Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Any, Optional
+
+from ..campaign.errors import CampaignError
+from ..campaign.runner import (
+    Campaign,
+    CampaignResult,
+    CampaignSpec,
+    resolve_campaign_circuit,
+)
+from ..campaign.sharded import InlineExecutor, ShardedCampaign
+from .cache import ResultCache
+from .fingerprint import SCHEMA_VERSION, campaign_fingerprint
+
+
+class JobStatus(str, Enum):
+    """Lifecycle of one submitted campaign job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobError:
+    """Structured failure record of one job (never takes down the service)."""
+
+    type: str
+    message: str
+    traceback: Optional[str] = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": self.type, "message": self.message, "traceback": self.traceback}
+
+    def __str__(self) -> str:
+        return f"{self.type}: {self.message}"
+
+
+class JobFailedError(CampaignError):
+    """Raised by :meth:`CampaignService.result` for failed/cancelled jobs."""
+
+    def __init__(self, job_id: str, status: JobStatus, error: Optional[JobError]):
+        detail = f" ({error})" if error else ""
+        super().__init__(f"job {job_id} {status.value}{detail}")
+        self.job_id = job_id
+        self.status = status
+        self.error = error
+
+
+@dataclass
+class Job:
+    """One submitted campaign and everything known about it."""
+
+    id: str
+    client: str
+    spec: CampaignSpec
+    status: JobStatus = JobStatus.QUEUED
+    result: Optional[CampaignResult] = None
+    error: Optional[JobError] = None
+    cache_hit: bool = False
+    #: Dispatch sequence number (order the dispatcher started the job),
+    #: None while queued/cancelled.  Tests of scheduling fairness read this.
+    started_seq: Optional[int] = None
+    _event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def info(self) -> dict[str, Any]:
+        """JSON-able status snapshot (no result payload)."""
+        return {
+            "id": self.id,
+            "client": self.client,
+            "circuit": self.spec.circuit,
+            "model": self.spec.model,
+            "status": self.status.value,
+            "cache_hit": self.cache_hit,
+            "error": self.error.as_dict() if self.error else None,
+        }
+
+
+def _execute_job(
+    spec: CampaignSpec,
+    cache_dir: Optional[str],
+    checkpoint_root: Optional[str],
+    schema_version: int,
+) -> dict[str, Any]:
+    """Worker-side job body: cache lookup, run, cache store -- all trapped.
+
+    Runs inside a pool process; returns a plain dict so every outcome
+    (including the failure path) pickles back to the parent.  Sharded specs
+    run their shard pipeline inline -- nested process pools are never
+    created -- and the checkpoint directory is derived from the campaign
+    fingerprint, so a resubmitted job resumes the shards a crashed
+    predecessor completed.
+    """
+    try:
+        cache = ResultCache(cache_dir, schema_version=schema_version) if cache_dir else None
+        key: Optional[str] = None
+        if cache is not None:
+            key, cached = cache.fetch(None, spec)
+            if cached is not None:
+                return {"ok": True, "result": cached, "cache_hit": True}
+        checkpoint_dir = None
+        if checkpoint_root is not None:
+            circuit = resolve_campaign_circuit(None, spec)
+            fingerprint = campaign_fingerprint(circuit, spec, schema_version=schema_version)
+            checkpoint_dir = str(Path(checkpoint_root) / fingerprint[:24])
+        if checkpoint_dir is not None or spec.shards > 1:
+            result = ShardedCampaign(
+                spec, pool=InlineExecutor(), checkpoint_dir=checkpoint_dir
+            ).run()
+        else:
+            result = Campaign(spec).run()
+        if cache is not None and key is not None:
+            cache.put(key, result)
+        return {"ok": True, "result": result, "cache_hit": False}
+    except Exception as exc:
+        return {
+            "ok": False,
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+        }
+
+
+class CampaignService:
+    """An async job front-end over one shared campaign worker pool.
+
+    ``max_workers`` bounds concurrent jobs (default: CPU count);
+    ``max_workers=0`` runs jobs inline in the dispatcher thread through
+    :class:`~repro.campaign.sharded.InlineExecutor` -- deterministic and
+    process-free, the right mode for tests.  With ``autostart=False`` the
+    dispatcher stays parked until :meth:`start`, letting callers stage a
+    burst of submissions that is then scheduled strictly fairly.
+
+    The service is a context manager; leaving the ``with`` block drains or
+    cancels the queue (``close(cancel_queued=True)`` cancels).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: Optional[int] = None,
+        cache_dir: str | os.PathLike | None = None,
+        checkpoint_root: str | os.PathLike | None = None,
+        schema_version: int = SCHEMA_VERSION,
+        autostart: bool = True,
+    ):
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.checkpoint_root = str(checkpoint_root) if checkpoint_root is not None else None
+        self.schema_version = schema_version
+        self._inline = max_workers == 0
+        self._slots = 1 if self._inline else (max_workers or os.cpu_count() or 1)
+        self._executor: Executor = (
+            InlineExecutor() if self._inline else ProcessPoolExecutor(self._slots)
+        )
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        self._queues: dict[str, deque[str]] = {}
+        self._clients: deque[str] = deque()
+        self._in_flight: set[str] = set()
+        self._ids = itertools.count(1)
+        self._dispatch_seq = itertools.count(1)
+        self._pool_broken = False
+        self._closed = False
+        self._started = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="campaign-service-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------ #
+    # Client API.
+    # ------------------------------------------------------------------ #
+    def submit(self, spec: CampaignSpec, client: str = "default") -> str:
+        """Enqueue one campaign; returns the job id immediately.
+
+        The spec must name its circuit (``CampaignSpec.circuit``), exactly
+        as in :class:`~repro.campaign.suite.CampaignSuite`.
+        """
+        spec.validate()
+        if spec.circuit is None:
+            raise CampaignError(
+                "service jobs need CampaignSpec.circuit set to a registered "
+                "name, family:args reference or .bench path"
+            )
+        with self._wake:
+            if self._closed:
+                raise CampaignError("campaign service is closed")
+            job = Job(id=f"job-{next(self._ids):04d}", client=client, spec=spec)
+            self._jobs[job.id] = job
+            if client not in self._queues:
+                self._queues[client] = deque()
+                self._clients.append(client)
+            self._queues[client].append(job.id)
+            self._wake.notify_all()
+            return job.id
+
+    def start(self) -> None:
+        """Release the dispatcher (no-op when already started)."""
+        with self._wake:
+            self._started = True
+            self._wake.notify_all()
+
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise CampaignError(f"unknown job id {job_id!r}") from None
+
+    def status(self, job_id: str) -> JobStatus:
+        return self.job(job_id).status
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> CampaignResult:
+        """Block until *job_id* finishes; the result or a raised failure.
+
+        Raises :class:`JobFailedError` for failed/cancelled jobs and
+        :class:`TimeoutError` when *timeout* elapses first.
+        """
+        job = self.job(job_id)
+        if not job._event.wait(timeout):
+            raise TimeoutError(f"job {job_id} still {job.status.value} after {timeout} s")
+        if job.status is not JobStatus.DONE:
+            raise JobFailedError(job_id, job.status, job.error)
+        assert job.result is not None
+        return job.result
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; running/finished jobs are not interrupted."""
+        with self._wake:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise CampaignError(f"unknown job id {job_id!r}")
+            if job.status is not JobStatus.QUEUED:
+                return False
+            self._queues[job.client].remove(job_id)
+            job.status = JobStatus.CANCELLED
+            job._event.set()
+            self._wake.notify_all()
+            return True
+
+    def wait_all(self, timeout: Optional[float] = None) -> list[Job]:
+        """Block until every submitted job is terminal; returns them all."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            remaining = timeout  # per-job cap; total bound = timeout * jobs
+            if not job._event.wait(remaining):
+                raise TimeoutError(f"job {job.id} still {job.status.value}")
+        return jobs
+
+    def report(self) -> dict[str, Any]:
+        """Service snapshot: job tallies per status plus cache statistics."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        tally = Counter(job.status.value for job in jobs)
+        payload: dict[str, Any] = {
+            "schema": "repro/campaign-service/1",
+            "jobs": len(jobs),
+            "by_status": dict(sorted(tally.items())),
+            "cache_hits": sum(1 for job in jobs if job.cache_hit),
+        }
+        if self.cache_dir is not None:
+            payload["cache"] = ResultCache(
+                self.cache_dir, schema_version=self.schema_version
+            ).report()
+        return payload
+
+    def close(self, cancel_queued: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting jobs; cancel (default) or drain the queue, shut down."""
+        with self._wake:
+            if cancel_queued:
+                for queue in self._queues.values():
+                    while queue:
+                        job = self._jobs[queue.popleft()]
+                        job.status = JobStatus.CANCELLED
+                        job._event.set()
+            self._closed = True
+            self._started = True
+            self._wake.notify_all()
+        self._dispatcher.join(timeout)
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "CampaignService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher internals.
+    # ------------------------------------------------------------------ #
+    def _has_pending(self) -> bool:
+        return any(self._queues.values())
+
+    def _next_job_id(self) -> str:
+        """Round-robin across clients: serve the head client, rotate it back."""
+        while self._clients:
+            client = self._clients[0]
+            queue = self._queues[client]
+            if not queue:
+                self._clients.popleft()
+                continue
+            job_id = queue.popleft()
+            self._clients.rotate(-1)
+            return job_id
+        raise AssertionError("called with no pending jobs")  # pragma: no cover
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._closed and not (
+                    self._started
+                    and self._has_pending()
+                    and len(self._in_flight) < self._slots
+                ):
+                    self._wake.wait()
+                if self._closed and not self._has_pending():
+                    return
+                if self._closed:
+                    # Draining close: keep scheduling the remaining queue.
+                    if len(self._in_flight) >= self._slots:
+                        self._wake.wait()
+                        continue
+                job_id = self._next_job_id()
+                job = self._jobs[job_id]
+                job.status = JobStatus.RUNNING
+                job.started_seq = next(self._dispatch_seq)
+                self._in_flight.add(job_id)
+                if self._pool_broken:
+                    self._executor = ProcessPoolExecutor(self._slots)
+                    self._pool_broken = False
+            try:
+                future = self._executor.submit(
+                    _execute_job,
+                    job.spec,
+                    self.cache_dir,
+                    self.checkpoint_root,
+                    self.schema_version,
+                )
+            except Exception as exc:
+                self._finish_with_error(job_id, exc)
+                continue
+            future.add_done_callback(
+                lambda fut, job_id=job_id: self._on_job_done(job_id, fut)
+            )
+
+    def _finish_with_error(self, job_id: str, exc: BaseException) -> None:
+        with self._wake:
+            job = self._jobs[job_id]
+            self._in_flight.discard(job_id)
+            job.status = JobStatus.FAILED
+            job.error = JobError(type(exc).__name__, str(exc))
+            self._pool_broken = not self._inline
+            job._event.set()
+            self._wake.notify_all()
+
+    def _on_job_done(self, job_id: str, future: Future) -> None:
+        try:
+            payload = future.result()
+        except BaseException as exc:
+            # The worker process died without returning (BrokenProcessPool,
+            # unpicklable result, ...): fail this job, rebuild the pool for
+            # the next one.
+            self._finish_with_error(job_id, exc)
+            return
+        with self._wake:
+            job = self._jobs[job_id]
+            self._in_flight.discard(job_id)
+            if payload["ok"]:
+                job.status = JobStatus.DONE
+                job.result = payload["result"]
+                job.cache_hit = payload["cache_hit"]
+            else:
+                job.status = JobStatus.FAILED
+                err = payload["error"]
+                job.error = JobError(err["type"], err["message"], err["traceback"])
+            job._event.set()
+            self._wake.notify_all()

@@ -214,7 +214,7 @@ class TestCampaignSuite:
 
     def test_consolidated_json_report(self, suite_result):
         payload = json.loads(suite_result.to_json())
-        assert payload["schema"] == "repro/campaign-suite/1"
+        assert payload["schema"] == "repro/campaign-suite/2"
         assert payload["campaigns"] == 4 and payload["failed"] == 0
         row = payload["rows"][0]
         assert row["circuit"] == "fa_sum" and row["model"] == "stuck-at"
