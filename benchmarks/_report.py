@@ -39,6 +39,10 @@ def record_faultsim(
     workers: Optional[int] = None,
     backtracks: Optional[int] = None,
     decisions: Optional[int] = None,
+    implications: Optional[int] = None,
+    tested: Optional[int] = None,
+    proven_redundant: Optional[int] = None,
+    aborted: Optional[int] = None,
 ) -> float:
     """Record one fault-simulation measurement; returns fault-tests/second.
 
@@ -47,10 +51,13 @@ def record_faultsim(
     so trend tooling can group workloads across PRs.  ``workers`` is the
     process count of a sharded-campaign measurement (None for single-process
     engine runs), giving the JSON a workers axis for the scale trajectory.
-    ``backtracks`` / ``decisions`` carry the total PODEM search effort of an
-    ATPG measurement (None when the run had no generation phase), so search
-    regressions show up in the trajectory even when wall-clock noise hides
-    them.
+    ``backtracks`` / ``decisions`` / ``implications`` carry the total search
+    effort of an ATPG measurement (None when the run had no generation
+    phase), so search regressions show up in the trajectory even when
+    wall-clock noise hides them.  ``tested`` / ``proven_redundant`` /
+    ``aborted`` are the three-way outcome counts of a structural-ATPG
+    measurement, giving the JSON a per-engine resolution axis alongside raw
+    throughput.
     """
     throughput = (num_faults * num_tests / seconds) if seconds > 0 else float("inf")
     _FAULTSIM_RECORDS.append(
@@ -67,6 +74,10 @@ def record_faultsim(
             "workers": workers,
             "backtracks": backtracks,
             "decisions": decisions,
+            "implications": implications,
+            "tested": tested,
+            "proven_redundant": proven_redundant,
+            "aborted": aborted,
         }
     )
     return throughput

@@ -96,6 +96,15 @@ from .random_tpg import (
     random_patterns,
     single_input_change_pairs,
 )
+from .structural import (
+    ATPG_ENGINES,
+    StructuralAtpg,
+    StructuralAtpgError,
+    StructuralResult,
+    atpg_engine_names,
+    get_atpg_engine,
+    register_atpg_engine,
+)
 from .two_pattern import TwoPatternResult, TwoPatternTest, generate_transition_test
 from .values import D, DBAR, ONE, X, ZERO, LogicValue, evaluate_gate_values, from_bit
 
@@ -112,6 +121,13 @@ __all__ = [
     "PodemResult",
     "generate_stuck_at_test",
     "justify",
+    "ATPG_ENGINES",
+    "StructuralAtpg",
+    "StructuralAtpgError",
+    "StructuralResult",
+    "atpg_engine_names",
+    "get_atpg_engine",
+    "register_atpg_engine",
     "TwoPatternTest",
     "TwoPatternResult",
     "generate_transition_test",

@@ -42,7 +42,13 @@ class PodemResult:
 
     @property
     def untestable(self) -> bool:
-        """Search exhausted without aborting: the fault is proven untestable."""
+        """Search exhausted without aborting: the fault is proven untestable.
+
+        ``aborted`` covers both the backtrack budget running out and the
+        engine abandoning a branch heuristically (backtrace landing on an
+        already-assigned input); either way the search was incomplete, so
+        exhaustion does *not* prove anything and this property stays False.
+        """
         return not self.success and not self.aborted
 
 
@@ -65,6 +71,12 @@ class _PodemEngine:
         self.values: dict[str, LogicValue] = {}
         self.backtracks = 0
         self.decisions = 0
+        #: Set when a branch is abandoned without exploring it (backtrace
+        #: landing on an assigned or non-input net).  Once set, exhausting
+        #: the stack no longer proves untestability: the result is reported
+        #: as aborted, never as "no test exists".
+        self.gave_up = False
+        self._pi_set = frozenset(circuit.primary_inputs)
         self._validate()
 
     def _validate(self) -> None:
@@ -239,24 +251,31 @@ class _PodemEngine:
                 return self._success()
             if self.failed() or self.objective() is None:
                 if not self._backtrack(stack):
-                    return PodemResult(False, None, self.backtracks, aborted=False,
-                                       decisions=self.decisions)
+                    return self._exhausted()
                 continue
             if self.backtracks > self.options.max_backtracks:
                 return PodemResult(False, None, self.backtracks, aborted=True,
                                    decisions=self.decisions)
             net, value = self.objective()
             pi, pi_value = self.backtrace(net, value)
-            if pi in self.assignments:
-                # Backtrace landed on an assigned input (rare); flip search.
+            if pi in self.assignments or pi not in self._pi_set:
+                # Backtrace landed on an assigned (or non-input) net: the
+                # branch is abandoned *heuristically*, not refuted, so a
+                # later stack exhaustion must be reported as aborted rather
+                # than as a proof that no test exists.
+                self.gave_up = True
                 if not self._backtrack(stack):
-                    return PodemResult(False, None, self.backtracks, aborted=False,
-                                       decisions=self.decisions)
+                    return self._exhausted()
                 continue
             self.assignments[pi] = pi_value
             self.decisions += 1
             stack.append((pi, pi_value, False))
             self.imply()
+
+    def _exhausted(self) -> PodemResult:
+        """Decision stack exhausted: a proof only if no branch was abandoned."""
+        return PodemResult(False, None, self.backtracks, aborted=self.gave_up,
+                           decisions=self.decisions)
 
     def _backtrack(self, stack: list[tuple[str, int, bool]]) -> bool:
         while stack:

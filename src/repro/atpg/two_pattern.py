@@ -38,6 +38,7 @@ class TwoPatternResult:
     backtracks: int
     aborted: bool = False
     decisions: int = 0
+    implications: int = 0
 
     @property
     def untestable(self) -> bool:
@@ -53,14 +54,30 @@ def generate_transition_test(
     circuit: LogicCircuit,
     fault: TransitionFault,
     options: PodemOptions | None = None,
+    atpg_engine: str | None = None,
 ) -> TwoPatternResult:
-    """Generate a two-pattern test for a slow-to-rise / slow-to-fall fault."""
+    """Generate a two-pattern test for a slow-to-rise / slow-to-fall fault.
+
+    *atpg_engine* selects the structural engine for the capture half (the
+    stuck-at search); None keeps the legacy two-rail PODEM.  The launch
+    pattern is pure justification either way.
+    """
     options = options or PodemOptions()
 
     # Capture pattern: detect "net stuck at the pre-transition value".
-    capture = generate_stuck_at_test(
-        circuit, StuckAtFault(fault.net, fault.launch_value), options=options
-    )
+    capture_implications = 0
+    if atpg_engine is None:
+        capture = generate_stuck_at_test(
+            circuit, StuckAtFault(fault.net, fault.launch_value), options=options
+        )
+    else:
+        # Imported here: structural sits on top of this module's sibling.
+        from .structural import get_atpg_engine
+
+        capture = get_atpg_engine(atpg_engine).generate(
+            circuit, StuckAtFault(fault.net, fault.launch_value), options
+        )
+        capture_implications = capture.implications
     if not capture.success:
         return TwoPatternResult(
             False,
@@ -68,6 +85,7 @@ def generate_transition_test(
             capture.backtracks,
             aborted=capture.aborted,
             decisions=capture.decisions,
+            implications=capture_implications,
         )
 
     # Launch pattern: justify the pre-transition value at the fault net.
@@ -76,11 +94,15 @@ def generate_transition_test(
     decisions = capture.decisions + launch.decisions
     if not launch.success:
         return TwoPatternResult(
-            False, None, backtracks, aborted=launch.aborted, decisions=decisions
+            False, None, backtracks, aborted=launch.aborted, decisions=decisions,
+            implications=capture_implications,
         )
 
     test = TwoPatternTest(
         first=pattern_tuple(circuit, launch.pattern),
         second=pattern_tuple(circuit, capture.pattern),
     )
-    return TwoPatternResult(True, test, backtracks, decisions=decisions)
+    return TwoPatternResult(
+        True, test, backtracks, decisions=decisions,
+        implications=capture_implications,
+    )

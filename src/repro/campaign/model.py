@@ -43,11 +43,21 @@ class AtpgOutcome:
     #: PODEM decision count (assignments tried), the second half of the
     #: classical search-effort pair alongside ``backtracks``.
     decisions: int = 0
+    #: Net values derived by implication (structural engines only; the
+    #: legacy two-rail PODEM reports 0 here).
+    implications: int = 0
 
     @property
     def untestable(self) -> bool:
         """Search exhausted without aborting: the fault is proven untestable."""
         return not self.success and not self.aborted
+
+    @property
+    def status(self) -> str:
+        """Three-way outcome: ``tested`` / ``proven_redundant`` / ``aborted``."""
+        if self.success:
+            return "tested"
+        return "aborted" if self.aborted else "proven_redundant"
 
 
 @runtime_checkable
@@ -89,8 +99,16 @@ class FaultModel(Protocol):
         circuit: LogicCircuit,
         fault: Fault,
         options: PodemOptions | None = None,
+        atpg_engine: str | None = None,
     ) -> AtpgOutcome:
-        """Deterministic test generation for one fault."""
+        """Deterministic test generation for one fault.
+
+        *atpg_engine* names a structural engine from
+        :data:`repro.atpg.structural.ATPG_ENGINES` (``"d-alg"``,
+        ``"podem"``, ``"legacy"``); None keeps the model's default.  Models
+        whose search is not stuck-at-shaped (path-delay, OBD) accept and
+        ignore it.
+        """
 
     def collapse_dominance(self, circuit: LogicCircuit, faults: FaultList) -> FaultList:
         """Equivalence *plus* dominance collapsing (identity if unsupported)."""

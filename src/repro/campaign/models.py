@@ -32,7 +32,8 @@ from ..atpg.parallel_sim import (
     packed_simulate_transition,
 )
 from ..atpg.path_delay_atpg import generate_path_delay_test
-from ..atpg.podem import PodemOptions, generate_stuck_at_test
+from ..atpg.podem import PodemOptions
+from ..atpg.structural import get_atpg_engine
 from ..atpg.two_pattern import generate_transition_test, pattern_tuple
 from ..faults.base import FaultList
 from ..faults.collapse import (
@@ -122,13 +123,18 @@ class StuckAtModel(_StaticHooksMixin):
             compiled,
         )
 
+    #: Structural engine used when a caller does not pick one explicitly.
+    default_atpg_engine = "podem"
+
     def generate_test(
         self,
         circuit: LogicCircuit,
         fault: StuckAtFault,
         options: PodemOptions | None = None,
+        atpg_engine: str | None = None,
     ) -> AtpgOutcome:
-        result = generate_stuck_at_test(circuit, fault, options=options)
+        engine = get_atpg_engine(atpg_engine or self.default_atpg_engine)
+        result = engine.generate(circuit, fault, options)
         tests = (pattern_tuple(circuit, result.pattern),) if result.success else ()
         return AtpgOutcome(
             fault,
@@ -137,6 +143,7 @@ class StuckAtModel(_StaticHooksMixin):
             result.backtracks,
             result.aborted,
             decisions=result.decisions,
+            implications=result.implications,
         )
 
 
@@ -179,13 +186,20 @@ class TransitionModel(_StaticHooksMixin):
     ) -> dict[str, StaticProof]:
         return prove_transition_untestable(circuit, faults)
 
+    #: Structural engine for the capture (stuck-at) half of the search.
+    default_atpg_engine = "podem"
+
     def generate_test(
         self,
         circuit: LogicCircuit,
         fault: TransitionFault,
         options: PodemOptions | None = None,
+        atpg_engine: str | None = None,
     ) -> AtpgOutcome:
-        result = generate_transition_test(circuit, fault, options=options)
+        result = generate_transition_test(
+            circuit, fault, options=options,
+            atpg_engine=atpg_engine or self.default_atpg_engine,
+        )
         tests = ((result.test.first, result.test.second),) if result.success else ()
         return AtpgOutcome(
             fault,
@@ -194,6 +208,7 @@ class TransitionModel(_StaticHooksMixin):
             result.backtracks,
             result.aborted,
             decisions=result.decisions,
+            implications=result.implications,
         )
 
 
@@ -236,7 +251,10 @@ class PathDelayModel(_StaticHooksMixin):
         circuit: LogicCircuit,
         fault: PathDelayFault,
         options: PodemOptions | None = None,
+        atpg_engine: str | None = None,
     ) -> AtpgOutcome:
+        # atpg_engine is accepted for interface uniformity: the path-delay
+        # search is objective-driven, not a stuck-at search to delegate.
         result = generate_path_delay_test(circuit, fault, options=options)
         tests = ((result.test.first, result.test.second),) if result.success else ()
         return AtpgOutcome(
@@ -296,7 +314,11 @@ class ObdModel(_StaticHooksMixin):
         circuit: LogicCircuit,
         fault: ObdFault,
         options: PodemOptions | None = None,
+        atpg_engine: str | None = None,
     ) -> AtpgOutcome:
+        # atpg_engine is accepted for interface uniformity: OBD excitation
+        # cubes pin the defective gate's inputs, a constrained search the
+        # structural stuck-at engines do not model.
         result = generate_obd_test(circuit, fault, options=options)
         tests = ((result.test.first, result.test.second),) if result.success else ()
         return AtpgOutcome(

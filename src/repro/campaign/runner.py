@@ -33,6 +33,7 @@ from ..atpg.random_tpg import (
     random_patterns,
     single_input_change_pairs,
 )
+from ..atpg.structural import ATPG_ENGINES
 from ..faults.base import FaultList
 from ..logic.compiled import DEFAULT_WORD_BITS, WORD_BITS, CompiledCircuit, compile_circuit
 from ..logic.netlist import CircuitStats, LogicCircuit, LogicCircuitError
@@ -98,6 +99,11 @@ class CampaignSpec:
     seed: int = 0
     run_atpg: bool = True
     podem_options: Optional[PodemOptions] = None
+    #: Structural ATPG engine for the top-up phase: any name registered in
+    #: :data:`repro.atpg.structural.ATPG_ENGINES` (``"podem"`` -- the
+    #: frontier-based rewrite, the default -- ``"d-alg"``, or ``"legacy"``
+    #: for the pre-rewrite two-rail PODEM).
+    atpg_engine: str = "podem"
     compact: bool = True
     drop_detected: bool = False
     engine: str = "packed"
@@ -133,6 +139,11 @@ class CampaignSpec:
             _check_engine(self.engine)
         except ValueError as exc:
             raise CampaignError(str(exc)) from None
+        if self.atpg_engine not in ATPG_ENGINES:
+            raise CampaignError(
+                f"unknown ATPG engine {self.atpg_engine!r}; expected one of "
+                f"{tuple(sorted(ATPG_ENGINES))}"
+            )
         try:
             model = get_model(self.model)
         except KeyError as exc:
@@ -225,6 +236,10 @@ class AtpgPhaseResult:
     @property
     def decisions(self) -> int:
         return sum(o.decisions for o in self.outcomes)
+
+    @property
+    def implications(self) -> int:
+        return sum(o.implications for o in self.outcomes)
 
 
 @dataclass
@@ -366,6 +381,7 @@ class CampaignResult:
                     "compact": spec.compact,
                     "drop_detected": spec.drop_detected,
                     "engine": spec.engine,
+                    "atpg_engine": spec.atpg_engine,
                     "word_bits": spec.word_bits,
                     "shards": spec.shards,
                     "static_phase": spec.static_phase,
@@ -412,15 +428,19 @@ class CampaignResult:
         if self.atpg_phase is not None:
             a = self.atpg_phase
             payload["atpg_phase"] = {
+                "atpg_engine": spec.atpg_engine,
                 "attempted": a.attempted,
                 "skipped": len(a.skipped),
                 "proven_static": len(a.proven),
+                "proven_structural": len(a.untestable),
                 "testable": len(a.testable),
                 "untestable": len(a.untestable),
                 "aborted": len(a.aborted),
                 "backtracks": a.backtracks,
                 "decisions": a.decisions,
+                "implications": a.implications,
                 "num_tests": len(a.tests),
+                "outcomes": {o.fault.key: o.status for o in a.outcomes},
                 "coverage": _coverage_dict(a.coverage),
             }
             if include_runtime:
@@ -568,13 +588,16 @@ def generate_atpg_outcomes(
     detected: set[str],
     options: Optional[PodemOptions] = None,
     proven: frozenset[str] = frozenset(),
+    atpg_engine: str | None = None,
 ) -> tuple[list[AtpgOutcome], list[str], list[str]]:
     """Deterministic ATPG over *faults*, skipping already-*detected* keys.
 
     Keys in *proven* (statically proven untestable) are skipped without
-    running the search.  Returns (outcomes for the attempted faults, skipped
-    fault keys, proven fault keys), all in universe order -- the invariant
-    that makes fault-sharded generation merge back into exactly the
+    running the search.  *atpg_engine* names a structural engine
+    (``"d-alg"`` / ``"podem"`` / ``"legacy"``); None keeps the model's
+    default.  Returns (outcomes for the attempted faults, skipped fault
+    keys, proven fault keys), all in universe order -- the invariant that
+    makes fault-sharded generation merge back into exactly the
     single-process test list.
     """
     outcomes: list[AtpgOutcome] = []
@@ -587,7 +610,9 @@ def generate_atpg_outcomes(
         if fault.key in detected:
             skipped.append(fault.key)
             continue
-        outcomes.append(model.generate_test(circuit, fault, options=options))
+        outcomes.append(
+            model.generate_test(circuit, fault, options=options, atpg_engine=atpg_engine)
+        )
     return outcomes, skipped, proven_skipped
 
 
@@ -771,7 +796,8 @@ class Campaign:
         if spec.run_atpg:
             t0 = time.perf_counter()
             outcomes, skipped, proven_skipped = generate_atpg_outcomes(
-                model, circuit, faults, detected, spec.podem_options, proven=proven
+                model, circuit, faults, detected, spec.podem_options, proven=proven,
+                atpg_engine=spec.atpg_engine,
             )
             generation_runtime = time.perf_counter() - t0
             atpg_tests = [test for outcome in outcomes for test in outcome.tests]

@@ -160,6 +160,7 @@ def _shard_pattern_and_generate(
     run_atpg: bool,
     podem_options: Optional[PodemOptions],
     proven: frozenset[str] = frozenset(),
+    atpg_engine: str | None = None,
 ) -> tuple[Optional[DetectionReport], list[AtpgOutcome], list[str], list[str], float, float]:
     """Round 1: pattern-phase simulation plus ATPG generation for one shard.
 
@@ -188,7 +189,8 @@ def _shard_pattern_and_generate(
     if run_atpg:
         t0 = time.perf_counter()
         outcomes, skipped, proven_skipped = generate_atpg_outcomes(
-            model, circuit, fault_shard, detected, podem_options, proven=proven
+            model, circuit, fault_shard, detected, podem_options, proven=proven,
+            atpg_engine=atpg_engine,
         )
         gen_seconds = time.perf_counter() - t0
     return report, outcomes, skipped, proven_skipped, sim_seconds, gen_seconds
@@ -368,7 +370,7 @@ class ShardedCampaign:
                             _shard_pattern_and_generate,
                             token, circuit, model.name, spec.engine, spec.word_bits,
                             tests, shard, spec.drop_detected, spec.run_atpg,
-                            spec.podem_options, proven,
+                            spec.podem_options, proven, spec.atpg_engine,
                         ),
                     )
                     for index, shard in enumerate(shard_lists)

@@ -39,7 +39,7 @@ from .fingerprint import SCHEMA_VERSION
 
 #: Checkpoint file-format version (independent of the campaign
 #: SCHEMA_VERSION, which governs *result* compatibility).
-CHECKPOINT_SCHEMA = "repro/campaign-checkpoint/1"
+CHECKPOINT_SCHEMA = "repro/campaign-checkpoint/2"
 
 MANIFEST_NAME = "manifest.json"
 
@@ -226,6 +226,7 @@ class CheckpointStore:
                         "backtracks": o.backtracks,
                         "aborted": o.aborted,
                         "decisions": o.decisions,
+                        "implications": o.implications,
                     }
                     for o in outcomes
                 ],
@@ -269,6 +270,7 @@ class CheckpointStore:
                     backtracks=o["backtracks"],
                     aborted=o["aborted"],
                     decisions=o["decisions"],
+                    implications=o["implications"],
                 )
                 for o in payload["outcomes"]
             ]

@@ -36,7 +36,11 @@ from ..logic.netlist import LogicCircuit
 
 #: Version of the campaign result/checkpoint schema.  Part of every cache
 #: key and checkpoint manifest; see the module docstring for when to bump.
-SCHEMA_VERSION = 1
+#:
+#: v2: structural ATPG rewrite -- ``CampaignSpec.atpg_engine`` joined the
+#: spec, and the ``atpg_phase`` payload grew ``atpg_engine`` /
+#: ``implications`` / ``proven_structural`` / per-fault ``outcomes``.
+SCHEMA_VERSION = 2
 
 
 def _digest(payload: Any) -> str:
@@ -84,6 +88,7 @@ def spec_canonical_form(spec: CampaignSpec) -> dict[str, Any]:
             "seed": spec.seed,
             "run_atpg": spec.run_atpg,
             "podem_options": asdict(spec.podem_options) if spec.podem_options else None,
+            "atpg_engine": spec.atpg_engine,
             "compact": spec.compact,
             "drop_detected": spec.drop_detected,
             "engine": spec.engine,

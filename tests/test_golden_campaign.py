@@ -55,6 +55,16 @@ CASES = {
             drop_detected=True,
         ),
     ),
+    "c17_stuck_at_dalg_static_off": (
+        "c17.bench",
+        CampaignSpec(
+            model="stuck-at",
+            pattern_source="none",
+            run_atpg=True,
+            static_phase=False,
+            atpg_engine="d-alg",
+        ),
+    ),
     "fa_sum_obd_sic": (
         "fa_sum.bench",
         CampaignSpec(

@@ -20,6 +20,7 @@ from repro.atpg import (
     serial_simulate_transition,
     simulate_with_forced_net,
 )
+from repro.atpg.structural import get_atpg_engine
 from repro.campaign import Campaign, CampaignSpec, ShardedCampaign
 from repro.core import (
     BreakdownStage,
@@ -219,6 +220,79 @@ def test_serial_packed_equivalence_path_delay(seed, drop_detected):
 @settings(max_examples=15, deadline=None)
 def test_serial_packed_equivalence_obd(seed, drop_detected):
     _equivalence_case("obd", seed, drop_detected)
+
+
+# --------------------------------------------------------------------------- #
+# Structural ATPG on random DAGs: any vector an engine emits must be a real
+# test under BOTH fault simulators, and the two complete searches (D-algorithm
+# and PODEM) must reach the same testable / proven_redundant verdicts.
+# --------------------------------------------------------------------------- #
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(("d-alg", "podem", "legacy")),
+)
+@settings(max_examples=10, deadline=None)
+def test_structural_atpg_vectors_detected_by_both_simulators(seed, engine_name):
+    circuit = random_dag(24, num_inputs=5, seed=seed, max_depth=7)
+    engine = get_atpg_engine(engine_name)
+    faults = list(stuck_at_universe(circuit))
+    tested = []
+    for fault in faults:
+        result = engine.generate(circuit, fault)
+        if result.success:
+            tested.append(
+                (fault, tuple(result.pattern[n] for n in circuit.primary_inputs))
+            )
+    assert tested, "random DAG produced no testable faults"
+    patterns = [pattern for _, pattern in tested]
+    serial = serial_simulate_stuck_at(circuit, patterns, [f for f, _ in tested])
+    packed = packed_simulate_stuck_at(circuit, patterns, [f for f, _ in tested])
+    for index, (fault, _) in enumerate(tested):
+        assert index in serial.detections[fault.key]
+        assert index in packed.detections[fault.key]
+    assert serial.detections == packed.detections
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_structural_engines_agree_on_random_dags(seed):
+    circuit = random_dag(30, num_inputs=5, seed=seed, max_depth=8)
+    d_alg = get_atpg_engine("d-alg")
+    podem = get_atpg_engine("podem")
+    for fault in stuck_at_universe(circuit):
+        a = d_alg.generate(circuit, fault)
+        b = podem.generate(circuit, fault)
+        if not a.aborted and not b.aborted:
+            assert a.status == b.status, (fault.key, a.status, b.status)
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(("stuck-at", "transition", "path-delay", "obd")),
+)
+@settings(max_examples=8, deadline=None)
+def test_campaign_atpg_statuses_engine_independent(seed, model):
+    """Per-fault tested / proven_redundant verdicts (not the vectors) are a
+    property of the circuit, so the complete engines must report identical
+    status maps through the campaign pipeline -- for all four fault models,
+    including the two whose search ignores the engine selection."""
+    palette = OBD_DAG_GATE_TYPES if model == "obd" else None
+    circuit = random_dag(16, num_inputs=4, seed=seed, max_depth=6, gate_types=palette)
+    status_maps = []
+    for engine_name in ("d-alg", "podem"):
+        spec = CampaignSpec(
+            model=model,
+            universe_options={"limit": 40} if model == "path-delay" else {},
+            pattern_source="none",
+            run_atpg=True,
+            compact=False,
+            atpg_engine=engine_name,
+        )
+        payload = Campaign(spec).run(circuit).as_dict(include_runtime=False)
+        outcomes = payload["atpg_phase"]["outcomes"]
+        assert "aborted" not in outcomes.values()
+        status_maps.append(outcomes)
+    assert status_maps[0] == status_maps[1]
 
 
 # --------------------------------------------------------------------------- #
