@@ -88,6 +88,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "discards them and starts fresh)")
     parser.add_argument("--cache-dir", metavar="DIR",
                         help="serve repeated identical runs from this result cache")
+    parser.add_argument("--max-retries", type=int, default=0,
+                        help="extra attempts for shards that crash or time out")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        help="per-shard deadline in seconds (overdue shards retry)")
+    parser.add_argument("--no-degrade", action="store_true",
+                        help="fail instead of falling back to a slower engine "
+                             "once a shard's retry budget is spent")
+    parser.add_argument("--fault-plan", metavar="PATH",
+                        help="fault-injection plan JSON (testing only): inject "
+                             "the plan into this run to exercise the retry/"
+                             "degrade/checkpoint recovery paths")
     return parser
 
 
@@ -102,11 +113,21 @@ def spec_from_args(args: argparse.Namespace, circuit: str, model: str) -> Campai
         collapse=args.collapse,
         engine=args.engine,
         shards=args.shards,
+        max_retries=args.max_retries,
+        shard_timeout=args.shard_timeout,
+        allow_degraded=not args.no_degrade,
     )
 
 
 def run_single(args: argparse.Namespace) -> int:
     spec = spec_from_args(args, args.circuit[0], args.model[0])
+    if args.fault_plan:
+        import os
+
+        from repro.service.faultinject import PLAN_ENV, InjectionPlan
+
+        InjectionPlan.load(args.fault_plan)  # fail fast on a malformed plan
+        os.environ[PLAN_ENV] = os.path.abspath(args.fault_plan)
     cache = None
     if args.cache_dir:
         from repro.service import ResultCache
@@ -140,9 +161,18 @@ def run_single(args: argparse.Namespace) -> int:
             stored = summary["round1_stored"] + summary["round2_stored"]
             print(f"  checkpoint: resumed {loaded} shard record(s), "
                   f"computed {stored} ({args.checkpoint_dir})")
+        tolerance = sharded.fault_tolerance
+        if tolerance and any(tolerance.values()):
+            print("  fault tolerance: "
+                  + ", ".join(f"{k}={v}" for k, v in tolerance.items() if v))
+        if result.degraded:
+            print(f"  degraded shards: {result.degraded['fallbacks']} "
+                  f"(primary engine {result.degraded['engine']})")
     if args.verify:
-        base = Campaign(spec).run()
-        same = base.as_dict(include_runtime=False) == result.as_dict(include_runtime=False)
+        base = Campaign(spec).run().as_dict(include_runtime=False)
+        mine = result.as_dict(include_runtime=False)
+        mine.pop("degraded", None)  # provenance, not payload
+        same = base == mine
         print(f"  verify vs single-process: {'bit-identical' if same else 'MISMATCH'}")
         if not same:
             return 1

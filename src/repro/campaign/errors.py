@@ -1,8 +1,13 @@
-"""Campaign-layer error type.
+"""Campaign-layer error types.
 
 Lives in its own module so :mod:`~repro.campaign.circuits`,
 :mod:`~repro.campaign.runner`, :mod:`~repro.campaign.sharded` and
 :mod:`~repro.campaign.suite` can all raise it without import cycles.
+
+Every error carries a ``category`` -- one of the service layer's
+structured failure categories (``error`` / ``crash`` / ``timeout`` /
+``corruption`` / ``degraded``) -- so :class:`~repro.service.jobs.JobError`
+and the chaos harness can attribute failures without string matching.
 """
 
 from __future__ import annotations
@@ -14,3 +19,36 @@ class CampaignError(ValueError):
     Subclasses :class:`ValueError` so callers that predate the campaign
     layer (and catch ``ValueError``) keep working.
     """
+
+    #: Service-layer failure category; deterministic spec/circuit errors
+    #: are plain ``error`` (retrying them cannot help).
+    category = "error"
+
+
+class ShardExecutionError(CampaignError):
+    """A shard task kept failing after its full retry (and fallback) budget.
+
+    ``category`` is ``crash`` when the final attempt raised, ``timeout``
+    when it exceeded the per-shard deadline, and ``degraded`` when the
+    engine-fallback attempt also failed.  ``attempts`` counts every try,
+    retries and fallback included.
+    """
+
+    def __init__(self, shard: int, attempts: int, category: str, cause: str):
+        super().__init__(
+            f"shard {shard} failed after {attempts} attempt(s) [{category}]: {cause}"
+        )
+        self.shard = shard
+        self.attempts = attempts
+        self.category = category
+
+
+class CorruptArtifactError(CampaignError):
+    """A checkpoint/cache artifact is damaged beyond quarantine.
+
+    Raised only when the store cannot even move the damaged artifact aside
+    (e.g. the configured directory path is a regular file); routine
+    corruption is quarantined and recomputed instead.
+    """
+
+    category = "corruption"

@@ -113,11 +113,39 @@ class CampaignSpec:
     #: campaign) and record statically proven untestable faults, which are
     #: then skipped by ATPG.  On by default; set False to opt out.
     static_phase: bool = True
+    # -- Robustness knobs (sharded/service execution only). ------------- #
+    # None of these can change a campaign's *result* -- retried, resumed
+    # and engine-degraded runs are bit-identical by construction -- so they
+    # are deliberately excluded from ``as_dict()``'s spec block and from
+    # ``spec_canonical_form`` (two specs differing only here share cache
+    # entries, checkpoints and goldens).
+    #: Extra attempts per shard task after its first failure (crash or
+    #: deadline overrun).  0 = fail the campaign on the first shard error.
+    max_retries: int = 0
+    #: Per-shard deadline in seconds; a shard still running past it counts
+    #: as hung and is retried (or failed) like a crash.  None = no deadline.
+    shard_timeout: Optional[float] = None
+    #: Base of the exponential retry backoff: attempt *n* sleeps
+    #: ``retry_backoff * 2**n`` seconds before resubmitting.
+    retry_backoff: float = 0.05
+    #: After the retry budget is spent, fall back to the next slower engine
+    #: (packed -> interp -> serial; all bit-identical) with a fresh attempt
+    #: budget, recording the degradation in the result's provenance.  Set
+    #: False to fail instead of degrading.
+    allow_degraded: bool = True
 
     def __post_init__(self) -> None:
         self.validate()
 
     def validate(self) -> None:
+        if self.max_retries < 0:
+            raise CampaignError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise CampaignError(
+                f"shard_timeout must be positive or None, got {self.shard_timeout}"
+            )
+        if self.retry_backoff < 0:
+            raise CampaignError(f"retry_backoff must be >= 0, got {self.retry_backoff}")
         if isinstance(self.collapse, str) and self.collapse not in COLLAPSE_MODES:
             raise CampaignError(
                 f"unknown collapse mode {self.collapse!r}; expected a boolean "
@@ -266,6 +294,12 @@ class CampaignResult:
     compaction: Optional[CompactionResult]
     compacted_tests: Optional[list]
     runtime: float
+    #: Engine-degradation provenance, set by the sharded executor when a
+    #: shard fell back to a slower engine after repeated failures:
+    #: ``{"engine": spec engine, "fallbacks": {shard: engine}}``.  None for
+    #: a clean run, and omitted from :meth:`as_dict` then -- degradation is
+    #: operational provenance, not part of the (bit-identical) result.
+    degraded: Optional[dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # Merged views.
@@ -454,6 +488,8 @@ class CampaignResult:
                 "uncovered_faults": len(self.compaction.uncovered_faults),
                 "tests": _jsonable(self.compacted_tests),
             }
+        if self.degraded:
+            payload["degraded"] = _jsonable(self.degraded)
         return payload
 
     def to_json(self, indent: int | None = None, include_runtime: bool = True) -> str:

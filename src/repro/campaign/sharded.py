@@ -37,7 +37,15 @@ from __future__ import annotations
 import itertools
 import os
 import time
-from concurrent.futures import Executor, Future, ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from ..atpg.compaction import merge_fault_shards
@@ -47,7 +55,12 @@ from ..atpg.parallel_sim import packed_simulate_shard
 from ..atpg.podem import PodemOptions
 from ..faults.base import Fault, FaultList
 from ..logic.netlist import LogicCircuit
-from .errors import CampaignError
+
+# faultinject has no repro dependencies and service/__init__ imports it
+# before service.jobs, so this cross-package hook cannot cycle; the hooks
+# are no-ops unless an injection plan is installed.
+from ..service.faultinject import inject
+from .errors import CampaignError, ShardExecutionError
 from .model import AtpgOutcome, FaultModel, get_model
 from .runner import (
     Campaign,
@@ -106,10 +119,13 @@ def partition_faults(faults: Sequence[Fault] | FaultList, shards: int) -> list[l
 # --------------------------------------------------------------------------- #
 _TOKENS = itertools.count()
 
-#: Per-worker-process cache: run token -> compiled circuit (or None for the
-#: serial engine).  Bounded so long-lived shared pools (CampaignSuite) do
-#: not accumulate one compiled circuit per finished campaign.
-_WORKER_COMPILED: dict[str, object] = {}
+#: Per-worker-process cache: (run token, engine, word bits) -> compiled
+#: circuit (or None for the serial engine).  Keyed by engine as well as
+#: token because retry degradation can re-run a shard of the same campaign
+#: under a fallback engine -- the packed artifact must not be reused then.
+#: Bounded so long-lived shared pools (CampaignSuite) do not accumulate one
+#: compiled circuit per finished campaign.
+_WORKER_COMPILED: dict[tuple[str, str, Optional[int]], object] = {}
 _WORKER_CACHE_LIMIT = 8
 
 
@@ -119,12 +135,13 @@ def _new_token() -> str:
 
 
 def _worker_compiled(token: str, circuit: LogicCircuit, engine: str, word_bits: Optional[int]):
-    compiled = _WORKER_COMPILED.get(token, _WORKER_COMPILED)
+    key = (token, engine, word_bits)
+    compiled = _WORKER_COMPILED.get(key, _WORKER_COMPILED)
     if compiled is _WORKER_COMPILED:  # sentinel: not cached yet (None is valid)
         compiled = compile_for_engine(circuit, engine, word_bits)
         while len(_WORKER_COMPILED) >= _WORKER_CACHE_LIMIT:
             _WORKER_COMPILED.pop(next(iter(_WORKER_COMPILED)))
-        _WORKER_COMPILED[token] = compiled
+        _WORKER_COMPILED[key] = compiled
     return compiled
 
 
@@ -161,6 +178,7 @@ def _shard_pattern_and_generate(
     podem_options: Optional[PodemOptions],
     proven: frozenset[str] = frozenset(),
     atpg_engine: str | None = None,
+    shard_index: int = -1,
 ) -> tuple[Optional[DetectionReport], list[AtpgOutcome], list[str], list[str], float, float]:
     """Round 1: pattern-phase simulation plus ATPG generation for one shard.
 
@@ -170,6 +188,7 @@ def _shard_pattern_and_generate(
     proven keys (all in universe order), and the shard's (simulation
     seconds, generation seconds).
     """
+    inject("worker.round1", shard=shard_index)
     model = get_model(model_name)
     compiled = _worker_compiled(token, circuit, engine, word_bits)
     report: Optional[DetectionReport] = None
@@ -205,8 +224,10 @@ def _shard_resimulate(
     tests: Sequence,
     fault_shard: Sequence[Fault],
     drop_detected: bool,
+    shard_index: int = -1,
 ) -> tuple[DetectionReport, float]:
     """Round 2: re-simulate the merged ATPG test list over one fault shard."""
+    inject("worker.round2", shard=shard_index)
     model = get_model(model_name)
     compiled = _worker_compiled(token, circuit, engine, word_bits)
     t0 = time.perf_counter()
@@ -219,30 +240,153 @@ def _shard_resimulate(
 # --------------------------------------------------------------------------- #
 # Parent-side executor.
 # --------------------------------------------------------------------------- #
+#: Engine-degradation ladder: after a shard's retry budget is spent the
+#: executor may fall back one rung and try again.  Every engine is
+#: property-tested bit-identical to the others, so degradation can change
+#: only runtime, never the result.
+DEGRADE_FALLBACK = {"packed": "interp", "interp": "serial"}
+
+
+@dataclass
+class RetryPolicy:
+    """How one shard round treats failing or overdue tasks.
+
+    ``max_retries`` extra attempts per shard (on top of the first), each
+    preceded by an exponential ``backoff * 2**attempt`` sleep;
+    ``timeout`` is the per-shard deadline in seconds (None = wait forever);
+    ``degrade_to`` names the fallback engine granted a fresh attempt budget
+    once the primary engine's budget is spent (None = fail instead).
+    *sleep* is injectable so tests can assert the backoff schedule without
+    real waiting.
+    """
+
+    max_retries: int = 0
+    timeout: Optional[float] = None
+    backoff: float = 0.05
+    degrade_to: Optional[str] = None
+    sleep: Callable[[float], None] = time.sleep
+
+    @classmethod
+    def for_spec(cls, spec: CampaignSpec) -> "RetryPolicy":
+        return cls(
+            max_retries=spec.max_retries,
+            timeout=spec.shard_timeout,
+            backoff=spec.retry_backoff,
+            degrade_to=DEGRADE_FALLBACK.get(spec.engine) if spec.allow_degraded else None,
+        )
+
+
+@dataclass
+class RoundStats:
+    """Fault-tolerance counters accumulated across a campaign's rounds."""
+
+    retries: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    rebuilds: int = 0
+    #: Shard index -> fallback engine, for shards that completed degraded.
+    degraded: dict[int, str] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "retries": self.retries,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "rebuilds": self.rebuilds,
+            "degraded_shards": len(self.degraded),
+        }
+
+
 def _collect_round(
-    tasks: Sequence[tuple[int, Callable[[], Future]]],
+    tasks: Sequence[tuple[int, Callable[..., Future]]],
     load: Optional[Callable[[int], Optional[tuple]]],
     save: Optional[Callable[[int, tuple], None]],
+    *,
+    policy: Optional[RetryPolicy] = None,
+    stats: Optional[RoundStats] = None,
+    rebuild: Optional[Callable[[], None]] = None,
 ) -> list[tuple]:
     """Run one shard round, mixing checkpointed and freshly computed shards.
 
     *tasks* pairs each shard index with a thunk that submits its worker
-    task; *load* returns a checkpointed record (or None) and *save*
-    persists one -- both None when checkpointing is off.  Results are
-    persisted **as they complete** (not at round end), so a crash mid-round
-    loses only the still-running shards; if collecting a result raises, the
+    task (the thunk takes an optional fallback-engine override); *load*
+    returns a checkpointed record (or None) and *save* persists one -- both
+    None when checkpointing is off.  Results are persisted **as they
+    complete** (not at round end), so a crash mid-round loses only the
+    still-running shards; if collecting a result raises, the
     already-finished shards are persisted before the exception propagates.
     The returned list is ordered by shard index, exactly as if every shard
     had been computed in submit order.
+
+    Failure handling, governed by *policy* and tallied into *stats*:
+
+    * A worker-side :class:`Exception` (or a shard exceeding the deadline)
+      is retried with exponential backoff up to ``policy.max_retries``
+      times, then retried once more on ``policy.degrade_to`` (fresh attempt
+      budget), and finally raised as :class:`ShardExecutionError` with its
+      taxonomy category.  Determinism makes every disposition safe: a retry
+      or a degraded re-run of the same shard produces the identical record.
+    * :class:`CampaignError` and ``BaseException``\\ s
+      (``KeyboardInterrupt`` & co) are never retried -- deterministic
+      failures cannot be fixed by running again.
+    * :class:`~concurrent.futures.BrokenExecutor` (worker-side or at
+      submission) invokes *rebuild* -- once per breakage wave -- before the
+      affected shards are retried on the replacement pool.
+    * A submit-time exception of any other type is a parent-side crash and
+      propagates raw (the checkpoint store has already persisted every
+      finished shard, so the campaign resumes).
     """
+    policy = policy or RetryPolicy()
+    stats = stats if stats is not None else RoundStats()
     results: dict[int, tuple] = {}
-    pending: dict[Future, int] = {}
     written: set[int] = set()
+    submits: dict[int, Callable[..., Future]] = {}
+    stage_attempts: dict[int, int] = {}
+    total_attempts: dict[int, int] = {}
+    engines: dict[int, str] = {}
+    pending: dict[Future, int] = {}
+    deadlines: dict[Future, float] = {}
 
     def _save(index: int, record: tuple) -> None:
         if save is not None and index not in written:
             save(index, record)
             written.add(index)
+
+    def _attempt(index: int) -> None:
+        try:
+            future = submits[index](engines.get(index))
+        except (BrokenExecutor, OSError) as exc:
+            if isinstance(exc, BrokenExecutor):
+                stats.rebuilds += 1
+                if rebuild is not None:
+                    rebuild()
+            _fail(index, exc, "crash")
+            return
+        pending[future] = index
+        if policy.timeout is not None:
+            deadlines[future] = time.monotonic() + policy.timeout
+
+    def _fail(index: int, exc: BaseException, category: str) -> None:
+        if category == "timeout":
+            stats.timeouts += 1
+        else:
+            stats.crashes += 1
+        total_attempts[index] = total_attempts.get(index, 0) + 1
+        stage_attempts[index] = stage_attempts.get(index, 0) + 1
+        if stage_attempts[index] <= policy.max_retries:
+            stats.retries += 1
+            if policy.backoff > 0:
+                policy.sleep(policy.backoff * (2 ** (stage_attempts[index] - 1)))
+        elif policy.degrade_to is not None and index not in engines:
+            engines[index] = policy.degrade_to
+            stats.degraded[index] = policy.degrade_to
+            stage_attempts[index] = 0
+        else:
+            final = "degraded" if index in engines else category
+            raise ShardExecutionError(
+                index, total_attempts[index], final, f"{type(exc).__name__}: {exc}"
+            ) from exc
+        _attempt(index)
 
     try:
         for index, submit in tasks:
@@ -250,12 +394,46 @@ def _collect_round(
             if record is not None:
                 results[index] = record
             else:
-                pending[submit()] = index
-        for future in as_completed(pending):
-            index = pending[future]
-            record = future.result()
-            _save(index, record)
-            results[index] = record
+                submits[index] = submit
+                _attempt(index)
+        while pending:
+            timeout = None
+            if deadlines:
+                timeout = max(0.0, min(deadlines.values()) - time.monotonic())
+            done, _ = wait(set(pending), timeout=timeout, return_when=FIRST_COMPLETED)
+            rebuilt = False
+            for future in done:
+                index = pending.pop(future)
+                deadlines.pop(future, None)
+                exc = future.exception()
+                if exc is None:
+                    record = future.result()
+                    _save(index, record)
+                    results[index] = record
+                elif isinstance(exc, BrokenExecutor):
+                    # One breakage kills every in-flight future; rebuild the
+                    # pool once per wave, then retry each shard on it.
+                    if not rebuilt:
+                        rebuilt = True
+                        stats.rebuilds += 1
+                        if rebuild is not None:
+                            rebuild()
+                    _fail(index, exc, "crash")
+                elif isinstance(exc, CampaignError) or not isinstance(exc, Exception):
+                    raise exc
+                else:
+                    _fail(index, exc, "crash")
+            if not done:
+                now = time.monotonic()
+                for future in [f for f, d in deadlines.items() if d <= now]:
+                    index = pending.pop(future)
+                    del deadlines[future]
+                    future.cancel()
+                    _fail(
+                        index,
+                        TimeoutError(f"no result within shard_timeout={policy.timeout}s"),
+                        "timeout",
+                    )
     except BaseException:
         for future, index in pending.items():
             if future.done() and not future.cancelled() and future.exception() is None:
@@ -309,17 +487,22 @@ class ShardedCampaign:
         #: Filled by :meth:`run` when checkpointing is on (see
         #: :meth:`repro.service.checkpoint.CheckpointStore.summary`).
         self.checkpoint_summary: Optional[dict] = None
+        #: Filled by :meth:`run`: the fault-tolerance counters of the run
+        #: (:meth:`RoundStats.as_dict` -- retries, crashes, timeouts, pool
+        #: rebuilds, degraded shards).  All zero on a clean run.
+        self.fault_tolerance: Optional[dict] = None
 
-    def _executor(self, num_shards: int) -> tuple[Executor, bool]:
-        """The executor to use and whether this run owns (must shut down) it."""
+    def _executor(self, num_shards: int) -> tuple[Executor, bool, Optional[int]]:
+        """The executor, whether this run owns (must shut down/rebuild) it,
+        and the owned pool's worker count (None for external/inline)."""
         if self.pool is not None:
-            return self.pool, False
+            return self.pool, False, None
         workers = self.max_workers
         if workers == 0:
-            return InlineExecutor(), False
+            return InlineExecutor(), False, None
         if workers is None:
             workers = max(1, min(num_shards, os.cpu_count() or 1))
-        return ProcessPoolExecutor(max_workers=workers), True
+        return ProcessPoolExecutor(max_workers=workers), True, workers
 
     def run(self, circuit: LogicCircuit | str | None = None) -> CampaignResult:
         """Execute the sharded pipeline; the result matches ``Campaign.run``."""
@@ -359,18 +542,34 @@ class ShardedCampaign:
             )
 
         token = _new_token()
-        executor, owns_pool = self._executor(max(1, len(shard_lists)))
+        executor, owns_pool, pool_workers = self._executor(max(1, len(shard_lists)))
+        policy = RetryPolicy.for_spec(spec)
+        stats = RoundStats()
+
+        def rebuild() -> None:
+            # Replace a broken owned pool; the submit thunks read `executor`
+            # late-bound from this scope, so retries land on the new pool.
+            # External/inline executors are left alone -- retries go back to
+            # the same (possibly chaos-wrapped) executor.
+            nonlocal executor
+            if not owns_pool or pool_workers is None:
+                return
+            broken = executor
+            executor = ProcessPoolExecutor(max_workers=pool_workers)
+            broken.shutdown(wait=False, cancel_futures=True)
+
         try:
             num_pattern_tests = len(tests) if tests is not None else None
             results = _collect_round(
                 [
                     (
                         index,
-                        lambda shard=shard: executor.submit(
+                        lambda engine=None, shard=shard, index=index: executor.submit(
                             _shard_pattern_and_generate,
-                            token, circuit, model.name, spec.engine, spec.word_bits,
-                            tests, shard, spec.drop_detected, spec.run_atpg,
-                            spec.podem_options, proven, spec.atpg_engine,
+                            token, circuit, model.name, engine or spec.engine,
+                            spec.word_bits, tests, shard, spec.drop_detected,
+                            spec.run_atpg, spec.podem_options, proven,
+                            spec.atpg_engine, index,
                         ),
                     )
                     for index, shard in enumerate(shard_lists)
@@ -390,6 +589,9 @@ class ShardedCampaign:
                     if store
                     else None
                 ),
+                policy=policy,
+                stats=stats,
+                rebuild=rebuild,
             )
 
             pattern_phase: Optional[PatternPhaseResult] = None
@@ -431,11 +633,11 @@ class ShardedCampaign:
                     [
                         (
                             index,
-                            lambda shard=shard: executor.submit(
+                            lambda engine=None, shard=shard, index=index: executor.submit(
                                 _shard_resimulate,
-                                token, circuit, model.name, spec.engine,
+                                token, circuit, model.name, engine or spec.engine,
                                 spec.word_bits, atpg_tests, shard,
-                                spec.drop_detected,
+                                spec.drop_detected, index,
                             ),
                         )
                         for index, shard in enumerate(resim_shards)
@@ -458,6 +660,9 @@ class ShardedCampaign:
                         if store
                         else None
                     ),
+                    policy=policy,
+                    stats=stats,
+                    rebuild=rebuild,
                 )
                 if resim:
                     report = merge_fault_shards(
@@ -478,10 +683,11 @@ class ShardedCampaign:
         finally:
             if store is not None:
                 self.checkpoint_summary = store.summary()
+            self.fault_tolerance = stats.as_dict()
             if owns_pool:
                 executor.shutdown()
 
-        return assemble_result(
+        result = assemble_result(
             spec,
             model,
             circuit,
@@ -492,6 +698,14 @@ class ShardedCampaign:
             runtime=time.perf_counter() - start,
             static_phase=static_phase,
         )
+        if stats.degraded:
+            # Operational provenance only: the fallback engines are
+            # bit-identical, so the result payload itself is unchanged.
+            result.degraded = {
+                "engine": spec.engine,
+                "fallbacks": {str(i): eng for i, eng in sorted(stats.degraded.items())},
+            }
+        return result
 
 
 def run_sharded_campaign(

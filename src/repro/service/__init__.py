@@ -18,6 +18,20 @@ This package turns the one-shot campaign pipeline into a serving stack:
   specs.
 """
 
+# faultinject first: it has no repro dependencies, and the campaign layer's
+# modules (imported transitively by everything below) hook into it at import
+# time -- loading it before them keeps the import graph acyclic.
+from .faultinject import (
+    ChaosExecutor,
+    FaultInjector,
+    InjectedFault,
+    Injection,
+    InjectionPlan,
+    inject,
+    install,
+    seeded_matrix,
+)
+
 from .cache import CACHE_SCHEMA, CacheStats, ResultCache
 from .checkpoint import CHECKPOINT_SCHEMA, CheckpointStore
 from .fingerprint import (
@@ -37,6 +51,14 @@ from .jobs import (
 )
 
 __all__ = [
+    "ChaosExecutor",
+    "FaultInjector",
+    "InjectedFault",
+    "Injection",
+    "InjectionPlan",
+    "inject",
+    "install",
+    "seeded_matrix",
     "SCHEMA_VERSION",
     "CACHE_SCHEMA",
     "CHECKPOINT_SCHEMA",

@@ -27,10 +27,15 @@ from typing import Any, Optional
 from ..campaign.runner import CampaignResult, CampaignSpec, resolve_campaign_circuit
 from ..ioutil import atomic_write_bytes, atomic_write_json
 from ..logic.netlist import LogicCircuit
+from .faultinject import inject
 from .fingerprint import SCHEMA_VERSION, campaign_fingerprint
 
 #: Cache entry file-format version.
 CACHE_SCHEMA = "repro/campaign-cache/1"
+
+#: Subdirectory damaged entries are moved into (kept for forensics, excluded
+#: from ``entries()``/``clear()`` accounting).
+QUARANTINE_DIR = "quarantine"
 
 
 @dataclass
@@ -41,6 +46,11 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     invalidations: int = 0
+    #: Damaged entries (truncated/corrupt pickle, mismatched or corrupt
+    #: sidecar) moved aside on read; each also counts as a miss.
+    quarantined: int = 0
+    #: Transient I/O failures tolerated (read -> miss, write -> dropped).
+    io_errors: int = 0
 
     @property
     def requests(self) -> int:
@@ -56,6 +66,8 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "invalidations": self.invalidations,
+            "quarantined": self.quarantined,
+            "io_errors": self.io_errors,
             "hit_rate": self.hit_rate,
         }
 
@@ -99,28 +111,81 @@ class ResultCache:
     # ------------------------------------------------------------------ #
     # Read / write.
     # ------------------------------------------------------------------ #
+    def _quarantine(self, key: str) -> None:
+        """Move a damaged entry (pickle + sidecar) into ``quarantine/``."""
+        qdir = Path(self.directory) / QUARANTINE_DIR
+        moved = False
+        for path in (self._entry_path(key), self._meta_path(key)):
+            if not path.exists():
+                continue
+            try:
+                qdir.mkdir(parents=True, exist_ok=True)
+                target = qdir / path.name
+                suffix = 0
+                while target.exists():
+                    suffix += 1
+                    target = qdir / f"{path.name}.{suffix}"
+                os.replace(path, target)
+                moved = True
+            except OSError:
+                self.stats.io_errors += 1
+        if moved:
+            self.stats.quarantined += 1
+
     def get(self, key: str) -> Optional[CampaignResult]:
-        """The cached result for *key*, or None (counted as hit/miss)."""
+        """The cached result for *key*, or None (counted as hit/miss).
+
+        Never raises for a bad entry: a transient read failure is a miss, a
+        truncated/corrupt pickle, foreign payload or mismatched sidecar is
+        quarantined (moved aside for forensics) and reported as a miss --
+        the campaign recomputes and overwrites.  Entries from a different
+        ``schema_version`` are a plain miss and stay on disk (they are
+        valid for the code version that wrote them, not damaged).
+        """
+        path = self._entry_path(key)
         try:
-            payload = pickle.loads(self._entry_path(key).read_bytes())
+            inject("cache.read", path=path)
+            data = path.read_bytes()
         except FileNotFoundError:
             self.stats.misses += 1
             return None
+        except OSError:
+            self.stats.io_errors += 1
+            self.stats.misses += 1
+            return None
+        try:
+            payload = pickle.loads(data)
+            if not isinstance(payload, dict):
+                raise ValueError("cache payload is not a dict")
         except Exception:
-            # Truncation cannot happen (atomic writes); treat anything
-            # unreadable -- foreign files, version skew -- as a miss.
+            self._quarantine(key)
             self.stats.misses += 1
             return None
         if (
-            not isinstance(payload, dict)
-            or payload.get("schema") != CACHE_SCHEMA
+            payload.get("schema") != CACHE_SCHEMA
             or payload.get("schema_version") != self.schema_version
-            or payload.get("key") != key
         ):
             self.stats.misses += 1
             return None
+        result = payload.get("result")
+        if payload.get("key") != key or not isinstance(result, CampaignResult):
+            self._quarantine(key)
+            self.stats.misses += 1
+            return None
+        try:
+            meta = json.loads(self._meta_path(key).read_text(encoding="utf-8"))
+            if not isinstance(meta, dict) or meta.get("key") != key:
+                raise ValueError("sidecar key mismatch")
+        except FileNotFoundError:
+            pass  # sidecar is report metadata only; the entry is intact
+        except ValueError:  # includes json.JSONDecodeError
+            self._quarantine(key)
+            self.stats.misses += 1
+            return None
+        except OSError:
+            self.stats.io_errors += 1
         self.stats.hits += 1
-        return payload["result"]
+        return result
 
     def fetch(
         self, circuit: LogicCircuit | str | None, spec: CampaignSpec
@@ -130,8 +195,22 @@ class ResultCache:
         return key, self.get(key)
 
     def put(self, key: str, result: CampaignResult) -> Path:
-        """Store *result* under *key*; returns the entry path."""
+        """Store *result* under *key* (best effort); returns the entry path.
+
+        A transient write failure drops the store -- counted in
+        ``stats.io_errors`` -- rather than failing the campaign that
+        produced the (already complete) result.
+        """
         path = self._entry_path(key)
+        try:
+            self._write_entry(key, result, path)
+        except OSError:
+            self.stats.io_errors += 1
+            return path
+        self.stats.stores += 1
+        return path
+
+    def _write_entry(self, key: str, result: CampaignResult, path: Path) -> None:
         atomic_write_bytes(
             path,
             pickle.dumps(
@@ -159,8 +238,7 @@ class ResultCache:
                 "bytes": path.stat().st_size,
             },
         )
-        self.stats.stores += 1
-        return path
+        inject("cache.write", path=path)
 
     # ------------------------------------------------------------------ #
     # Invalidation and reporting.

@@ -31,22 +31,64 @@ from pathlib import Path
 from typing import Any, Optional, Sequence
 
 from ..atpg.fault_sim import DetectionReport
-from ..campaign.errors import CampaignError
+from ..campaign.errors import CampaignError, CorruptArtifactError
 from ..campaign.model import SINGLE_PATTERN, AtpgOutcome
 from ..faults.base import Fault
-from ..ioutil import atomic_write_json
+from ..ioutil import atomic_write_json, atomic_write_text
+from .faultinject import inject
 from .fingerprint import SCHEMA_VERSION
 
 #: Checkpoint file-format version (independent of the campaign
-#: SCHEMA_VERSION, which governs *result* compatibility).
-CHECKPOINT_SCHEMA = "repro/campaign-checkpoint/2"
+#: SCHEMA_VERSION, which governs *result* compatibility).  Version 3 adds
+#: the per-record checksum/length trailer; v2 records fail trailer
+#: validation and are quarantined + recomputed on first resume.
+CHECKPOINT_SCHEMA = "repro/campaign-checkpoint/3"
 
 MANIFEST_NAME = "manifest.json"
+
+#: Subdirectory damaged artifacts are moved into (never deleted: they are
+#: the forensic record of what the store refused to trust).
+QUARANTINE_DIR = "quarantine"
+
+_TRAILER_PREFIX = "sha256:"
 
 
 def _fault_keys_digest(faults: Sequence[Fault]) -> str:
     joined = "\n".join(f.key for f in faults)
     return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+
+def _encode_record(payload: dict[str, Any]) -> str:
+    """One shard record: a single JSON line plus a checksum/length trailer.
+
+    Atomic writes already rule out torn records under POSIX rename
+    semantics; the trailer is the defence for everything rename cannot
+    promise -- non-POSIX filesystems, partial network-volume flushes,
+    post-crash block corruption -- and for the fault-injection suite, which
+    tears and scribbles records on purpose.
+    """
+    body = json.dumps(payload, indent=None)
+    digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+    return f"{body}\n{_TRAILER_PREFIX}{digest}:{len(body.encode('utf-8'))}\n"
+
+
+def _parse_record(text: str) -> dict[str, Any]:
+    """Validate and decode one record; raises ``ValueError`` when damaged."""
+    lines = text.split("\n")
+    if len(lines) != 3 or lines[2] != "":
+        raise ValueError("torn record: expected body + trailer lines")
+    body, trailer = lines[0], lines[1]
+    if not trailer.startswith(_TRAILER_PREFIX):
+        raise ValueError("missing checksum trailer")
+    digest, length = trailer[len(_TRAILER_PREFIX):].split(":")
+    if int(length) != len(body.encode("utf-8")):
+        raise ValueError("record length mismatch")
+    if hashlib.sha256(body.encode("utf-8")).hexdigest() != digest:
+        raise ValueError("record checksum mismatch")
+    payload = json.loads(body)
+    if not isinstance(payload, dict):
+        raise ValueError("record body is not an object")
+    return payload
 
 
 def _encode_report(report: Optional[DetectionReport]) -> Optional[dict[str, Any]]:
@@ -97,6 +139,13 @@ class CheckpointStore:
         self.directory = Path(directory)
         self.loaded = {1: 0, 2: 0}
         self.stored = {1: 0, 2: 0}
+        #: Damaged records moved aside (and recomputed) this run.
+        self.quarantined = 0
+        #: Transient read failures tolerated (record treated as missing).
+        self.read_errors = 0
+        #: Failed checkpoint writes tolerated (the campaign continues; the
+        #: shard is simply not resumable).
+        self.write_errors = 0
 
     # ------------------------------------------------------------------ #
     # Manifest / lifecycle.
@@ -104,12 +153,35 @@ class CheckpointStore:
     def _manifest_path(self) -> Path:
         return self.directory / MANIFEST_NAME
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged artifact into ``quarantine/`` (never delete it)."""
+        try:
+            qdir = self.directory / QUARANTINE_DIR
+            qdir.mkdir(parents=True, exist_ok=True)
+            target = qdir / path.name
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = qdir / f"{path.name}.{suffix}"
+            os.replace(path, target)
+            self.quarantined += 1
+        except OSError:
+            # Cannot even move it aside; count it and leave the loader to
+            # keep treating the record as missing.
+            self.read_errors += 1
+
     def read_manifest(self) -> Optional[dict[str, Any]]:
         try:
             return json.loads(self._manifest_path().read_text(encoding="utf-8"))
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError) as exc:
+        except ValueError:
+            # A corrupt manifest (bad JSON or scribbled bytes) cannot vouch
+            # for any shard record: move it aside and start the campaign
+            # fresh rather than fail the resume.
+            self._quarantine(self._manifest_path())
+            return None
+        except OSError as exc:
             raise CampaignError(
                 f"unreadable checkpoint manifest {self._manifest_path()}: {exc}"
             ) from None
@@ -123,6 +195,10 @@ class CheckpointStore:
         campaign and must be cleared explicitly).  Without *resume* any
         existing checkpoint state is discarded first.
         """
+        if self.directory.exists() and not self.directory.is_dir():
+            raise CorruptArtifactError(
+                f"checkpoint path {self.directory} is a file, not a directory"
+            )
         manifest = self.read_manifest()
         if manifest is not None and not resume:
             self.clear()
@@ -146,6 +222,9 @@ class CheckpointStore:
                     f"resume=False) to start fresh"
                 )
             return
+        # No (trustworthy) manifest: any stray shard records cannot be
+        # vouched for -- drop them before binding the directory afresh.
+        self.clear()
         atomic_write_json(
             self._manifest_path(),
             {
@@ -170,12 +249,15 @@ class CheckpointStore:
         return sorted(self.directory.glob(f"round{round_no}-*.json"))
 
     def summary(self) -> dict[str, int]:
-        """How many shard records each round loaded from disk vs stored."""
+        """Per-round load/store counts plus fault-tolerance counters."""
         return {
             "round1_loaded": self.loaded[1],
             "round1_stored": self.stored[1],
             "round2_loaded": self.loaded[2],
             "round2_stored": self.stored[2],
+            "quarantined": self.quarantined,
+            "read_errors": self.read_errors,
+            "write_errors": self.write_errors,
         }
 
     # ------------------------------------------------------------------ #
@@ -189,18 +271,41 @@ class CheckpointStore:
     ) -> Optional[dict[str, Any]]:
         path = self._shard_path(round_no, index)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            inject("checkpoint.read", shard=index, path=path)
+            data = path.read_bytes()
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError):
-            # A foreign or corrupt file (checkpoints themselves are written
-            # atomically): recompute the shard rather than trust it.
+        except OSError:
+            # Transient read failure: treat the record as missing (the
+            # shard recomputes) rather than fail the resume.
+            self.read_errors += 1
+            return None
+        try:
+            payload = _parse_record(data.decode("utf-8"))
+        except ValueError:  # includes UnicodeDecodeError from scribbled bytes
+            # Torn or corrupt record: only this record is discarded --
+            # moved to quarantine, recomputed -- never the whole resume.
+            self._quarantine(path)
             return None
         if payload.get("schema") != CHECKPOINT_SCHEMA:
             return None
         if payload.get("faults_digest") != _fault_keys_digest(shard):
+            # Stale (foreign-campaign) record: recompute without quarantine
+            # -- the file is intact, it just describes different faults.
             return None
         return payload
+
+    def _store_payload(self, round_no: int, index: int, payload: dict[str, Any]) -> bool:
+        """Best-effort persist: a failed write never fails the campaign."""
+        path = self._shard_path(round_no, index)
+        try:
+            atomic_write_text(path, _encode_record(payload))
+            inject("checkpoint.write", shard=index, path=path)
+        except OSError:
+            self.write_errors += 1
+            return False
+        self.stored[round_no] += 1
+        return True
 
     def store_round1(
         self,
@@ -210,8 +315,9 @@ class CheckpointStore:
     ) -> None:
         """Persist one shard's ``_shard_pattern_and_generate`` result."""
         report, outcomes, skipped, proven, sim_seconds, gen_seconds = record
-        atomic_write_json(
-            self._shard_path(1, index),
+        self._store_payload(
+            1,
+            index,
             {
                 "schema": CHECKPOINT_SCHEMA,
                 "shard": index,
@@ -235,9 +341,7 @@ class CheckpointStore:
                 "sim_seconds": sim_seconds,
                 "gen_seconds": gen_seconds,
             },
-            indent=None,
         )
-        self.stored[1] += 1
 
     def load_round1(
         self,
@@ -292,8 +396,9 @@ class CheckpointStore:
     def store_round2(self, index: int, shard: Sequence[Fault], record: tuple) -> None:
         """Persist one shard's ``_shard_resimulate`` result."""
         report, seconds = record
-        atomic_write_json(
-            self._shard_path(2, index),
+        self._store_payload(
+            2,
+            index,
             {
                 "schema": CHECKPOINT_SCHEMA,
                 "shard": index,
@@ -301,9 +406,7 @@ class CheckpointStore:
                 "report": _encode_report(report),
                 "seconds": seconds,
             },
-            indent=None,
         )
-        self.stored[2] += 1
 
     def load_round2(
         self, index: int, shard: Sequence[Fault], num_tests: int

@@ -26,12 +26,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
 from ..campaign.errors import CampaignError
 from ..campaign.runner import CampaignSpec
 from ..ioutil import atomic_write_json
+from .faultinject import PLAN_ENV, InjectionPlan
 from .jobs import CampaignService, JobStatus
 
 
@@ -52,6 +54,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-job shard checkpoint root (resumable jobs)")
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-job wait timeout in seconds")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        help="watchdog deadline per job attempt; overdue jobs "
+                        "are requeued (within --max-job-retries) or failed "
+                        "with a structured timeout error")
+    parser.add_argument("--max-job-retries", type=int, default=0,
+                        help="extra attempts for jobs that crash or time out")
+    parser.add_argument("--fault-plan", metavar="PATH",
+                        help="fault-injection plan JSON (testing only): "
+                        f"exported as {PLAN_ENV} so worker processes "
+                        "inject the same plan")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-job progress lines")
     return parser
@@ -92,6 +104,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.fault_plan:
+        # Validate up front (a typo'd plan silently injecting nothing is
+        # worse than an error), then hand the path to worker processes.
+        try:
+            InjectionPlan.load(args.fault_plan)
+        except (OSError, ValueError) as exc:
+            print(f"error: --fault-plan {args.fault_plan}: {exc}", file=sys.stderr)
+            return 2
+        os.environ[PLAN_ENV] = str(Path(args.fault_plan).resolve())
+
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     failures = 0
@@ -99,6 +121,8 @@ def main(argv: list[str] | None = None) -> int:
         max_workers=args.workers,
         cache_dir=args.cache_dir,
         checkpoint_root=args.checkpoint_root,
+        job_timeout=args.job_timeout,
+        max_job_retries=args.max_job_retries,
         autostart=False,
     ) as service:
         submitted = []
@@ -135,7 +159,8 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 row["report"] = error_path.name
                 if not args.quiet:
-                    print(f"{path.name}: {job.status.value} "
+                    category = job.error.category if job.error else "error"
+                    print(f"{path.name}: {job.status.value} [{category}] "
                           f"({job.error or 'no error detail'})")
             job_rows.append(row)
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 import itertools
 import os
 import threading
+import time
 import traceback
 from collections import Counter, deque
 from concurrent.futures import Executor, Future, ProcessPoolExecutor
@@ -44,9 +45,14 @@ from ..campaign.runner import (
     CampaignSpec,
     resolve_campaign_circuit,
 )
-from ..campaign.sharded import InlineExecutor, ShardedCampaign
 from .cache import ResultCache
+from .faultinject import inject
 from .fingerprint import SCHEMA_VERSION, campaign_fingerprint
+
+# NOTE: repro.campaign.sharded is imported lazily (inside functions) --
+# sharded.py hooks into repro.service.faultinject at module level, so a
+# top-level import here would complete the cycle campaign.sharded ->
+# service.__init__ -> service.jobs -> campaign.sharded.
 
 
 class JobStatus(str, Enum):
@@ -63,16 +69,38 @@ class JobStatus(str, Enum):
         return self in (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
 
 
+#: JobError categories that a retry can plausibly fix: infrastructure
+#: failures (dead worker, broken pool) and deadline overruns.  Everything
+#: else -- deterministic spec errors, corruption beyond quarantine, a
+#: degraded run that still failed -- fails the job immediately.
+RETRYABLE_CATEGORIES = frozenset({"crash", "timeout"})
+
+
 @dataclass(frozen=True)
 class JobError:
-    """Structured failure record of one job (never takes down the service)."""
+    """Structured failure record of one job (never takes down the service).
+
+    ``category`` is the service failure taxonomy: ``crash`` (worker died or
+    raised an infrastructure error), ``timeout`` (watchdog or shard
+    deadline), ``corruption`` (artifact damaged beyond quarantine),
+    ``degraded`` (the engine-fallback attempt also failed) or ``error``
+    (deterministic campaign/spec failure).  Exceptions advertise their own
+    category via a ``category`` attribute (see
+    :mod:`repro.campaign.errors`); anything else is an ``error``.
+    """
 
     type: str
     message: str
     traceback: Optional[str] = None
+    category: str = "error"
 
     def as_dict(self) -> dict[str, Any]:
-        return {"type": self.type, "message": self.message, "traceback": self.traceback}
+        return {
+            "type": self.type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "category": self.category,
+        }
 
     def __str__(self) -> str:
         return f"{self.type}: {self.message}"
@@ -103,6 +131,15 @@ class Job:
     #: Dispatch sequence number (order the dispatcher started the job),
     #: None while queued/cancelled.  Tests of scheduling fairness read this.
     started_seq: Optional[int] = None
+    #: Times this job has been dispatched (> 1 after crash/timeout requeues);
+    #: doubles as the attempt generation that lets the service ignore a
+    #: completion from a superseded attempt.
+    attempts: int = 0
+    #: ``time.monotonic()`` of the latest dispatch; the watchdog compares it
+    #: against the service's ``job_timeout``.  None while queued.
+    started_at: Optional[float] = None
+    #: Engine-degradation provenance copied from the result (None normally).
+    degraded: Optional[dict[str, Any]] = None
     _event: threading.Event = field(default_factory=threading.Event, repr=False)
 
     def info(self) -> dict[str, Any]:
@@ -114,6 +151,8 @@ class Job:
             "model": self.spec.model,
             "status": self.status.value,
             "cache_hit": self.cache_hit,
+            "attempts": self.attempts,
+            "degraded": self.degraded,
             "error": self.error.as_dict() if self.error else None,
         }
 
@@ -133,7 +172,12 @@ def _execute_job(
     fingerprint, so a resubmitted job resumes the shards a crashed
     predecessor completed.
     """
+    from ..campaign.sharded import InlineExecutor, ShardedCampaign
+
     try:
+        # Tagged by circuit reference, not call count: the hook stays
+        # deterministic across pool rebuilds and worker process reuse.
+        inject("job.run", tag=spec.circuit)
         cache = ResultCache(cache_dir, schema_version=schema_version) if cache_dir else None
         key: Optional[str] = None
         if cache is not None:
@@ -146,14 +190,20 @@ def _execute_job(
             fingerprint = campaign_fingerprint(circuit, spec, schema_version=schema_version)
             checkpoint_dir = str(Path(checkpoint_root) / fingerprint[:24])
         if checkpoint_dir is not None or spec.shards > 1:
-            result = ShardedCampaign(
+            sharded = ShardedCampaign(
                 spec, pool=InlineExecutor(), checkpoint_dir=checkpoint_dir
-            ).run()
+            )
+            result = sharded.run()
         else:
             result = Campaign(spec).run()
         if cache is not None and key is not None:
             cache.put(key, result)
-        return {"ok": True, "result": result, "cache_hit": False}
+        return {
+            "ok": True,
+            "result": result,
+            "cache_hit": False,
+            "degraded": getattr(result, "degraded", None),
+        }
     except Exception as exc:
         return {
             "ok": False,
@@ -161,6 +211,7 @@ def _execute_job(
                 "type": type(exc).__name__,
                 "message": str(exc),
                 "traceback": traceback.format_exc(),
+                "category": str(getattr(exc, "category", "error")),
             },
         }
 
@@ -177,6 +228,15 @@ class CampaignService:
 
     The service is a context manager; leaving the ``with`` block drains or
     cancels the queue (``close(cancel_queued=True)`` cancels).
+
+    **Failure handling.**  Worker failures come back as structured
+    :class:`JobError`\\ s with a taxonomy category; jobs failing with a
+    retryable category (``crash``/``timeout``) are requeued up to
+    ``max_job_retries`` times before failing for good.  With ``job_timeout``
+    set, a watchdog thread marks any job running past the deadline as timed
+    out -- requeueing or failing it, and flagging the pool for rebuild so a
+    genuinely stuck worker cannot absorb a slot forever; a late completion
+    from the superseded attempt is ignored.
     """
 
     def __init__(
@@ -187,10 +247,20 @@ class CampaignService:
         checkpoint_root: str | os.PathLike | None = None,
         schema_version: int = SCHEMA_VERSION,
         autostart: bool = True,
+        job_timeout: Optional[float] = None,
+        max_job_retries: int = 0,
     ):
+        from ..campaign.sharded import InlineExecutor
+
+        if job_timeout is not None and job_timeout <= 0:
+            raise CampaignError(f"job_timeout must be positive or None, got {job_timeout}")
+        if max_job_retries < 0:
+            raise CampaignError(f"max_job_retries must be >= 0, got {max_job_retries}")
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.checkpoint_root = str(checkpoint_root) if checkpoint_root is not None else None
         self.schema_version = schema_version
+        self.job_timeout = job_timeout
+        self.max_job_retries = max_job_retries
         self._inline = max_workers == 0
         self._slots = 1 if self._inline else (max_workers or os.cpu_count() or 1)
         self._executor: Executor = (
@@ -205,12 +275,21 @@ class CampaignService:
         self._ids = itertools.count(1)
         self._dispatch_seq = itertools.count(1)
         self._pool_broken = False
+        self._rebuilds = 0
+        self._retries = 0
         self._closed = False
         self._started = False
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="campaign-service-dispatch", daemon=True
         )
         self._dispatcher.start()
+        self._watchdog: Optional[threading.Thread] = None
+        if job_timeout is not None:
+            self._watchdog_interval = max(0.02, min(1.0, job_timeout / 4))
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, name="campaign-service-watchdog", daemon=True
+            )
+            self._watchdog.start()
         if autostart:
             self.start()
 
@@ -296,15 +375,22 @@ class CampaignService:
         return jobs
 
     def report(self) -> dict[str, Any]:
-        """Service snapshot: job tallies per status plus cache statistics."""
+        """Service snapshot: job tallies per status/error-category plus
+        cache statistics and fault-tolerance counters."""
         with self._lock:
             jobs = list(self._jobs.values())
+            retries, rebuilds = self._retries, self._rebuilds
         tally = Counter(job.status.value for job in jobs)
+        errors = Counter(job.error.category for job in jobs if job.error is not None)
         payload: dict[str, Any] = {
-            "schema": "repro/campaign-service/1",
+            "schema": "repro/campaign-service/2",
             "jobs": len(jobs),
             "by_status": dict(sorted(tally.items())),
+            "by_error_category": dict(sorted(errors.items())),
             "cache_hits": sum(1 for job in jobs if job.cache_hit),
+            "retries": retries,
+            "pool_rebuilds": rebuilds,
+            "degraded_jobs": sum(1 for job in jobs if job.degraded),
         }
         if self.cache_dir is not None:
             payload["cache"] = ResultCache(
@@ -372,10 +458,18 @@ class CampaignService:
                 job = self._jobs[job_id]
                 job.status = JobStatus.RUNNING
                 job.started_seq = next(self._dispatch_seq)
+                job.attempts += 1
+                job.started_at = time.monotonic()
+                attempt = job.attempts
                 self._in_flight.add(job_id)
                 if self._pool_broken:
+                    old = self._executor
                     self._executor = ProcessPoolExecutor(self._slots)
                     self._pool_broken = False
+                    self._rebuilds += 1
+                    # Reap the broken pool without blocking dispatch; any
+                    # still-running (stuck) tasks are abandoned with it.
+                    old.shutdown(wait=False, cancel_futures=True)
             try:
                 future = self._executor.submit(
                     _execute_job,
@@ -385,41 +479,108 @@ class CampaignService:
                     self.schema_version,
                 )
             except Exception as exc:
-                self._finish_with_error(job_id, exc)
+                self._finish_with_error(job_id, attempt, exc)
                 continue
             future.add_done_callback(
-                lambda fut, job_id=job_id: self._on_job_done(job_id, fut)
+                lambda fut, job_id=job_id, attempt=attempt: self._on_job_done(
+                    job_id, attempt, fut
+                )
             )
 
-    def _finish_with_error(self, job_id: str, exc: BaseException) -> None:
+    def _requeue_or_fail(self, job: Job, error: JobError) -> None:
+        """Failure disposition for one attempt; caller holds the lock.
+
+        Retryable categories (``crash``/``timeout``) are requeued at the
+        front of their client's queue while the attempt budget lasts;
+        everything else -- and a closing service -- fails the job with its
+        structured error.
+        """
+        self._in_flight.discard(job.id)
+        job.started_at = None
+        retryable = error.category in RETRYABLE_CATEGORIES
+        if retryable and job.attempts <= self.max_job_retries and not self._closed:
+            self._retries += 1
+            job.status = JobStatus.QUEUED
+            job.started_seq = None
+            self._queues[job.client].appendleft(job.id)
+            if job.client not in self._clients:
+                self._clients.append(job.client)
+        else:
+            job.status = JobStatus.FAILED
+            job.error = error
+            job._event.set()
+        self._wake.notify_all()
+
+    def _finish_with_error(self, job_id: str, attempt: int, exc: BaseException) -> None:
+        """An attempt died outside the worker wrapper (pool-level failure)."""
         with self._wake:
             job = self._jobs[job_id]
-            self._in_flight.discard(job_id)
-            job.status = JobStatus.FAILED
-            job.error = JobError(type(exc).__name__, str(exc))
+            if job.status is not JobStatus.RUNNING or job.attempts != attempt:
+                return  # superseded attempt (watchdog already ruled)
             self._pool_broken = not self._inline
-            job._event.set()
-            self._wake.notify_all()
+            category = str(getattr(exc, "category", "crash"))
+            self._requeue_or_fail(
+                job, JobError(type(exc).__name__, str(exc), category=category)
+            )
 
-    def _on_job_done(self, job_id: str, future: Future) -> None:
+    def _on_job_done(self, job_id: str, attempt: int, future: Future) -> None:
         try:
             payload = future.result()
         except BaseException as exc:
             # The worker process died without returning (BrokenProcessPool,
-            # unpicklable result, ...): fail this job, rebuild the pool for
-            # the next one.
-            self._finish_with_error(job_id, exc)
+            # unpicklable result, ...): fail or requeue this job, rebuild
+            # the pool for the next one.
+            self._finish_with_error(job_id, attempt, exc)
             return
         with self._wake:
             job = self._jobs[job_id]
-            self._in_flight.discard(job_id)
+            if job.status is not JobStatus.RUNNING or job.attempts != attempt:
+                # A watchdog-superseded attempt finishing late: its requeued
+                # successor (or terminal ruling) already owns the job.
+                return
             if payload["ok"]:
+                self._in_flight.discard(job_id)
                 job.status = JobStatus.DONE
                 job.result = payload["result"]
                 job.cache_hit = payload["cache_hit"]
+                job.degraded = payload.get("degraded")
+                job.started_at = None
+                job._event.set()
             else:
-                job.status = JobStatus.FAILED
                 err = payload["error"]
-                job.error = JobError(err["type"], err["message"], err["traceback"])
-            job._event.set()
+                self._requeue_or_fail(
+                    job,
+                    JobError(
+                        err["type"], err["message"], err["traceback"],
+                        err.get("category", "error"),
+                    ),
+                )
             self._wake.notify_all()
+
+    def _watchdog_loop(self) -> None:
+        """Fail or requeue jobs stuck past ``job_timeout``; rebuild the pool."""
+        while True:
+            with self._wake:
+                if self._closed and not self._in_flight:
+                    return
+                now = time.monotonic()
+                for job_id in sorted(self._in_flight):
+                    job = self._jobs[job_id]
+                    if (
+                        job.status is JobStatus.RUNNING
+                        and job.started_at is not None
+                        and now - job.started_at > self.job_timeout
+                    ):
+                        # Invalidate the attempt first so the stuck future's
+                        # eventual completion is ignored, then abandon the
+                        # pool it is wedged in.
+                        self._pool_broken = not self._inline
+                        self._requeue_or_fail(
+                            job,
+                            JobError(
+                                "TimeoutError",
+                                f"job ran longer than job_timeout={self.job_timeout}s",
+                                category="timeout",
+                            ),
+                        )
+            time.sleep(self._watchdog_interval)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import pickle
+import time
 from concurrent.futures import Future
 from dataclasses import replace
 
@@ -27,17 +28,22 @@ from repro.campaign import (
     ShardedCampaign,
 )
 from repro.ioutil import atomic_write_bytes, atomic_write_json, atomic_write_text
+from repro.service.checkpoint import _encode_record
 from repro.logic import GateType, LogicCircuit, full_adder_sum
 from repro.service import (
     SCHEMA_VERSION,
     CampaignService,
     CheckpointStore,
+    Injection,
+    InjectionPlan,
     JobFailedError,
     JobStatus,
     ResultCache,
     campaign_fingerprint,
     circuit_fingerprint,
+    install,
 )
+from repro.service.faultinject import PLAN_ENV
 
 
 def baseline(spec: CampaignSpec) -> dict:
@@ -351,11 +357,12 @@ class TestKillAndResume:
         spec = CampaignSpec(model="stuck-at", circuit="c17",
                             pattern_source="random", pattern_count=4, shards=2)
         ShardedCampaign(spec, pool=InlineExecutor(), checkpoint_dir=ckpt).run()
-        # Corrupt one shard record's fault digest: the loader must reject it.
+        # Rewrite one shard record with a wrong fault digest (but a valid
+        # checksum trailer): the loader must reject it as stale.
         path = CheckpointStore(ckpt).shard_files(1)[0]
-        payload = json.loads(path.read_text())
+        payload = json.loads(path.read_text().split("\n", 1)[0])
         payload["faults_digest"] = "0" * 64
-        path.write_text(json.dumps(payload))
+        path.write_text(_encode_record(payload))
         resumed = ShardedCampaign(spec, pool=InlineExecutor(), checkpoint_dir=ckpt)
         assert resumed.run().as_dict(include_runtime=False) == baseline(spec)
         assert resumed.checkpoint_summary["round1_stored"] == 1
@@ -444,6 +451,135 @@ class TestCampaignService:
         subdirs = [p for p in root.iterdir() if p.is_dir()]
         assert len(subdirs) == 1
         assert (subdirs[0] / "manifest.json").is_file()
+
+
+# --------------------------------------------------------------------------- #
+# Service robustness: watchdog, retries, pool rebuild, shutdown races.
+# --------------------------------------------------------------------------- #
+class TestServiceRobustness:
+    def test_cancel_while_running_returns_false_then_completes(self):
+        plan = InjectionPlan((
+            Injection("job.run", "hang", tag="fa_sum", seconds=0.4),
+        ))
+        with install(plan):
+            with CampaignService(max_workers=0, autostart=False) as service:
+                job_id = service.submit(_spec())
+                service.start()
+                deadline = time.monotonic() + 10
+                while service.status(job_id) is JobStatus.QUEUED:
+                    assert time.monotonic() < deadline, "job never started"
+                    time.sleep(0.01)
+                assert service.cancel(job_id) is False  # running: not interrupted
+                result = service.result(job_id, timeout=60)
+        assert result.as_dict(include_runtime=False) == baseline(_spec())
+
+    def test_close_cancels_queued_jobs(self):
+        service = CampaignService(max_workers=0, autostart=False)
+        ids = [service.submit(_spec(seed=i)) for i in range(3)]
+        service.close()  # cancel_queued=True: nothing ever ran
+        for job_id in ids:
+            assert service.status(job_id) is JobStatus.CANCELLED
+        with pytest.raises(JobFailedError):
+            service.result(ids[0])
+
+    def test_draining_close_finishes_queued_jobs(self):
+        service = CampaignService(max_workers=0, autostart=False)
+        ids = [service.submit(_spec(seed=i)) for i in range(2)]
+        service.start()
+        service.close(cancel_queued=False)
+        for job_id in ids:
+            assert service.status(job_id) is JobStatus.DONE
+
+    def test_injected_crash_is_retried_to_success(self):
+        plan = InjectionPlan((Injection("job.run", "crash", tag="fa_sum"),))
+        with install(plan):
+            with CampaignService(max_workers=0, max_job_retries=1) as service:
+                job_id = service.submit(_spec())
+                result = service.result(job_id, timeout=60)
+                report = service.report()
+        assert result.as_dict(include_runtime=False) == baseline(_spec())
+        assert service.job(job_id).attempts == 2
+        assert report["retries"] == 1
+        assert report["by_error_category"] == {}
+
+    def test_watchdog_requeues_stuck_job_and_ignores_late_completion(self):
+        # The first attempt hangs well past job_timeout; the watchdog
+        # requeues it, and when the stuck attempt finally finishes its
+        # completion is discarded as superseded.
+        plan = InjectionPlan((
+            Injection("job.run", "hang", tag="fa_sum", seconds=1.0),
+        ))
+        with install(plan):
+            with CampaignService(
+                max_workers=0, job_timeout=0.2, max_job_retries=1
+            ) as service:
+                job_id = service.submit(_spec())
+                result = service.result(job_id, timeout=60)
+                report = service.report()
+        assert result.as_dict(include_runtime=False) == baseline(_spec())
+        assert service.job(job_id).attempts == 2
+        assert report["retries"] == 1
+        assert report["by_error_category"] == {}
+
+    def test_watchdog_without_retry_budget_fails_with_timeout_category(self):
+        plan = InjectionPlan((
+            Injection("job.run", "hang", tag="fa_sum", seconds=1.0),
+        ))
+        with install(plan):
+            with CampaignService(max_workers=0, job_timeout=0.2) as service:
+                job_id = service.submit(_spec())
+                with pytest.raises(JobFailedError):
+                    service.result(job_id, timeout=60)
+                report = service.report()
+        job = service.job(job_id)
+        assert job.status is JobStatus.FAILED
+        assert job.error.type == "TimeoutError"
+        assert job.error.category == "timeout"
+        assert report["by_error_category"] == {"timeout": 1}
+
+    def test_worker_death_fails_structured_and_pool_rebuilds(
+        self, tmp_path, monkeypatch
+    ):
+        # A worker process hard-killed mid-job (the OOM-killer/segfault
+        # case) must fail only its own job -- category "crash", no raw
+        # traceback explosion -- and the next job runs on a rebuilt pool.
+        plan_path = InjectionPlan(
+            (Injection("job.run", "exit", tag="c17"),), name="kill-worker",
+        ).dump(tmp_path / "plan.json")
+        monkeypatch.setenv(PLAN_ENV, str(plan_path))
+        with CampaignService(max_workers=1) as service:
+            doomed = service.submit(_spec(circuit="c17"))
+            with pytest.raises(JobFailedError):
+                service.result(doomed, timeout=120)
+            survivor = service.submit(_spec())
+            result = service.result(survivor, timeout=120)
+            report = service.report()
+        assert service.job(doomed).error.category == "crash"
+        assert result.as_dict(include_runtime=False) == baseline(_spec())
+        assert report["pool_rebuilds"] >= 1
+        assert report["by_status"] == {"done": 1, "failed": 1}
+
+    def test_degraded_job_provenance_reaches_the_report(self):
+        # Two injected crashes exhaust the shard's retry budget, forcing
+        # the engine-degradation rung; the job succeeds bit-identically and
+        # the provenance surfaces through job info and the service report.
+        spec = _spec(shards=2, engine="interp", max_retries=1)
+        plan = InjectionPlan((
+            Injection("worker.round1", "crash", shard=0, times=2),
+        ))
+        with install(plan):
+            with CampaignService(max_workers=0) as service:
+                job_id = service.submit(spec)
+                result = service.result(job_id, timeout=60)
+                report = service.report()
+        payload = result.as_dict(include_runtime=False)
+        assert payload.pop("degraded") == {
+            "engine": "interp", "fallbacks": {"0": "serial"},
+        }
+        assert payload == baseline(spec)
+        job = service.job(job_id)
+        assert job.degraded and job.info()["degraded"]["fallbacks"] == {"0": "serial"}
+        assert report["degraded_jobs"] == 1
 
 
 # --------------------------------------------------------------------------- #
