@@ -35,6 +35,7 @@ def record_faultsim(
     num_faults: int,
     num_tests: int,
     seconds: float,
+    backend: str = "int",
     word_bits: Optional[int] = None,
     workers: Optional[int] = None,
     backtracks: Optional[int] = None,
@@ -46,8 +47,12 @@ def record_faultsim(
 ) -> float:
     """Record one fault-simulation measurement; returns fault-tests/second.
 
-    ``engine`` is one of ``"codegen"`` / ``"interp"`` / ``"serial"``;
-    ``family`` is the circuit family (``"rdag"``, ``"mult"``, ``"rca"``, ...)
+    ``engine`` is one of ``"codegen"`` / ``"numpy"`` / ``"interp"`` /
+    ``"serial"``; ``backend`` is the packed-word representation behind the
+    engine (``"int"`` for arbitrary-precision integers, ``"numpy"`` for
+    uint64 ndarrays), giving the JSON a backend axis now that the same
+    generated code runs over more than one word type.  ``family`` is the
+    circuit family (``"rdag"``, ``"mult"``, ``"rca"``, ...)
     so trend tooling can group workloads across PRs.  ``workers`` is the
     process count of a sharded-campaign measurement (None for single-process
     engine runs), giving the JSON a workers axis for the scale trajectory.
@@ -65,6 +70,7 @@ def record_faultsim(
             "circuit": circuit,
             "family": family,
             "engine": engine,
+            "backend": backend,
             "model": model,
             "num_faults": num_faults,
             "num_tests": num_tests,

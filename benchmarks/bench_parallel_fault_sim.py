@@ -11,6 +11,12 @@ Three benchmark groups:
   the legacy 64-bit width) by ``REPRO_BENCH_CODEGEN_MIN`` (default 5x) on
   the random-DAG and array-multiplier workloads, with detections
   bit-identical to the serial reference.
+* ``numpy-fault-sim`` -- the ndarray backend (same generated code over
+  uint64 arrays with PPSFP row-packing) must beat the big-int codegen
+  engine by ``REPRO_BENCH_NUMPY_MIN`` (default 3x) combined stuck-at +
+  transition on the same workload pair at ``REPRO_BENCH_NUMPY_TESTS``
+  (default 8192) patterns, bit-identical to codegen on the full set and to
+  the serial reference on a prefix.  Skipped when numpy is not installed.
 * ``sharded-campaign`` -- the multi-process sharded executor must scale the
   full stuck-at campaign (pattern phase + PODEM top-up) on the random-DAG
   workload: with 4 workers, campaign throughput (patterns x faults / s over
@@ -27,7 +33,10 @@ CI smoke mode: set ``REPRO_BENCH_BITS`` / ``REPRO_BENCH_TESTS`` (e.g. 4 / 64)
 to shrink the adder workload, ``REPRO_BENCH_RDAG`` / ``REPRO_BENCH_MULT`` /
 ``REPRO_BENCH_CODEGEN_TESTS`` to shrink the codegen workloads, and
 ``REPRO_BENCH_CODEGEN_MIN`` (e.g. 1.0) to relax the speedup floor so the
-smoke only fails when codegen is *slower* than the interpreter.  For the
+smoke only fails when codegen is *slower* than the interpreter; the numpy
+group has the same pair of knobs (``REPRO_BENCH_NUMPY_TESTS`` /
+``REPRO_BENCH_NUMPY_MIN``) -- the array backend only wins at large pattern
+counts, so a smoke that shrinks the test count must relax the floor too.  For the
 sharded group, ``REPRO_BENCH_SHARDS`` picks the workers axis (e.g. ``2`` or
 ``2,4``), ``REPRO_BENCH_SHARD_MIN`` the floor for the largest worker count
 (e.g. CI asserts 1.5x at 2 workers) and ``REPRO_BENCH_SHARD_PATTERNS`` the
@@ -42,6 +51,9 @@ import time
 import pytest
 
 from repro.atpg import (
+    compile_for_engine,
+    numpy_simulate_stuck_at,
+    numpy_simulate_transition,
     packed_simulate_obd,
     packed_simulate_path_delay,
     packed_simulate_stuck_at,
@@ -79,6 +91,13 @@ CODEGEN_MIN = float(os.environ.get("REPRO_BENCH_CODEGEN_MIN", "5.0"))
 #: Pattern-prefix length for the serial bit-identity cross-check (the serial
 #: engine is orders of magnitude slower, so it checks a prefix).
 SERIAL_CHECK = int(os.environ.get("REPRO_BENCH_SERIAL_CHECK", "64"))
+
+#: Numpy-vs-codegen workload size and floor (the PR-10 tentpole criterion).
+#: The array backend amortizes ufunc dispatch over thousands of patterns per
+#: block, so the pattern count is deliberately much larger than the codegen
+#: group's -- shrinking it in a smoke run requires relaxing the floor.
+NUMPY_TESTS = int(os.environ.get("REPRO_BENCH_NUMPY_TESTS", "8192"))
+NUMPY_MIN = float(os.environ.get("REPRO_BENCH_NUMPY_MIN", "3.0"))
 
 #: Sharded-campaign workers axis (comma-separated; 1 is always measured).
 SHARD_WORKERS = tuple(
@@ -300,6 +319,105 @@ def test_codegen_speedup_over_interpreter(ref, benchmark):
     rows.append(f"  combined speedup {speedup:.1f}x (floor {CODEGEN_MIN}x)")
     report(rows)
     assert speedup >= CODEGEN_MIN
+
+
+# --------------------------------------------------------------------------- #
+# Numpy ndarray backend vs. big-int generated code (the PR-10 criterion).
+# --------------------------------------------------------------------------- #
+@pytest.mark.benchmark(group="numpy-fault-sim")
+def test_numpy_speedup_over_codegen(benchmark):
+    """Uint64-ndarray words + PPSFP row-packing vs. big-int generated code.
+
+    Asserts (a) detections bit-identical between the numpy and codegen
+    engines on the full workload and vs. the serial reference on a pattern
+    prefix, and (b) stuck-at + transition speedup summed over the
+    rdag+mult benchmark *pair* >= NUMPY_MIN (the floor is on the pair, not
+    per circuit: the deep random DAG and the shallow multiplier stress the
+    row-packer in opposite directions and are meant to average out).
+    """
+    pytest.importorskip("numpy")
+    timings: dict[str, float] = {"codegen": 0.0, "numpy": 0.0}
+    rows = []
+    numpy_pedantic = None
+    for ref in (RDAG_REF, MULT_REF):
+        circuit = resolve_circuit(ref)
+        family = ref.split(":", 1)[0]
+        patterns = random_patterns(circuit, NUMPY_TESTS, seed=43)
+        pairs = random_pairs(circuit, NUMPY_TESTS, seed=44)
+        sa_faults = list(stuck_at_universe(circuit))
+        tr_faults = list(transition_fault_universe(circuit))
+        engines = {
+            # Big-int generated code at DEFAULT_WORD_BITS vs. ndarray
+            # generated code at DEFAULT_NUMPY_WORD_BITS -- each backend at
+            # its own best width, exactly what ``CampaignSpec.engine``
+            # selects between.
+            "codegen": ("int", compile_circuit(circuit), packed_simulate_stuck_at,
+                        packed_simulate_transition),
+            "numpy": ("numpy", compile_for_engine(circuit, "numpy", None),
+                      numpy_simulate_stuck_at, numpy_simulate_transition),
+        }
+        if numpy_pedantic is None:
+            numpy_pedantic = (circuit, patterns, sa_faults, engines["numpy"][1])
+        rows.append(
+            f"numpy        : {ref} ({len(sa_faults)} sa + {len(tr_faults)} tr faults "
+            f"x {NUMPY_TESTS} tests, word_bits={engines['numpy'][1].word_bits})"
+        )
+        workloads = [
+            ("stuck-at", 0, patterns, sa_faults, serial_simulate_stuck_at),
+            ("transition", 1, pairs, tr_faults, serial_simulate_transition),
+        ]
+        for model, slot, tests, faults, serial_fn in workloads:
+            reports = {}
+            seconds = {}
+            for engine, (backend, cc, *fns) in engines.items():
+                fn = fns[slot]
+                reports[engine] = fn(circuit, tests, faults, compiled=cc)  # warm
+                seconds[engine] = _best_of(
+                    3, lambda f=fn, c=cc: f(circuit, tests, faults, compiled=c)
+                )
+                timings[engine] += seconds[engine]
+                record_faultsim(
+                    circuit=ref,
+                    family=family,
+                    engine=engine,
+                    backend=backend,
+                    model=model,
+                    num_faults=len(faults),
+                    num_tests=len(tests),
+                    seconds=seconds[engine],
+                    word_bits=cc.word_bits,
+                )
+            assert reports["numpy"].detections == reports["codegen"].detections
+            assert reports["numpy"].num_tests == reports["codegen"].num_tests
+            prefix = tests[:SERIAL_CHECK]
+            serial_rep = serial_fn(circuit, prefix, faults)
+            numpy_rep = engines["numpy"][2 + slot](
+                circuit, prefix, faults, compiled=engines["numpy"][1]
+            )
+            assert numpy_rep.detections == serial_rep.detections
+            ti, tn = seconds["codegen"], seconds["numpy"]
+            rows.append(
+                f"  {model:10s} codegen {ti * 1e3:7.1f} ms | numpy {tn * 1e3:6.1f} ms | "
+                f"speedup {ti / tn:5.1f}x | "
+                f"{len(faults) * len(tests) / tn / 1e6:6.2f} Mfault-tests/s"
+            )
+
+    circuit, patterns, sa_faults, numpy_cc = numpy_pedantic
+    benchmark.pedantic(
+        numpy_simulate_stuck_at,
+        args=(circuit, patterns, sa_faults),
+        kwargs={"compiled": numpy_cc},
+        rounds=3,
+        iterations=1,
+    )
+    speedup = timings["codegen"] / timings["numpy"]
+    rows.append(
+        f"  pair combined: codegen {timings['codegen'] * 1e3:.1f} ms | "
+        f"numpy {timings['numpy'] * 1e3:.1f} ms | "
+        f"speedup {speedup:.2f}x (floor {NUMPY_MIN}x)"
+    )
+    report(rows)
+    assert speedup >= NUMPY_MIN
 
 
 # --------------------------------------------------------------------------- #

@@ -30,7 +30,7 @@ working unchanged.
 Fault-simulation engines
 ------------------------
 
-Three engines produce identical :class:`~repro.atpg.fault_sim.DetectionReport`
+Four engines produce identical :class:`~repro.atpg.fault_sim.DetectionReport`
 objects behind the ``simulate_*`` entry points:
 
 * **packed** (default) -- the bit-parallel engine in
@@ -40,6 +40,12 @@ objects behind the ``simulate_*`` entry points:
   ``exec``-compiled straight-line function and shared across all faults, and
   each fault costs one call into a per-cone specialized kernel.  Use it
   everywhere; it is the engine that makes ISCAS-scale workloads practical.
+* **numpy** (``engine="numpy"``) -- the same generated code over
+  little-endian ``uint64`` ndarray words (thousands of patterns per block)
+  with PPSFP fault batching: faults sharing a fault-site net stack their
+  forced words and broadcast through one cone-kernel call.  The fastest
+  engine on large pattern sets; needs the optional numpy dependency
+  (``pip install repro[numpy]``).
 * **interp** -- the same packed algorithm through the tuple-dispatch
   interpreter at the legacy 64-bit width (``engine="interp"``): the
   in-process baseline the generated code is benchmarked and CI-smoked
@@ -47,7 +53,7 @@ objects behind the ``simulate_*`` entry points:
 * **serial** -- the reference engine in :mod:`repro.atpg.fault_sim`
   (``serial_simulate_*``, or ``engine="serial"``).  One full circuit walk per
   (fault, pattern): easy to read and to instrument, and the executable
-  specification both packed variants are property-tested against.  Reach for
+  specification every packed variant is property-tested against.  Reach for
   it when debugging a coverage discrepancy or adding a new fault model.
 
 All four models support ``drop_detected`` (stop simulating a fault after its
@@ -80,7 +86,16 @@ from .fault_sim import (
 )
 from .obd_atpg import ObdAtpgSummary, ObdTestResult, generate_obd_test, run_obd_atpg
 from .parallel_sim import (
+    ENGINE_BACKENDS,
+    NUMPY_SIMULATORS,
     PACKED_SIMULATORS,
+    SIMULATOR_BACKENDS,
+    compile_for_engine,
+    compiled_matches_engine,
+    numpy_simulate_obd,
+    numpy_simulate_path_delay,
+    numpy_simulate_stuck_at,
+    numpy_simulate_transition,
     packed_simulate_obd,
     packed_simulate_path_delay,
     packed_simulate_shard,
@@ -151,7 +166,16 @@ __all__ = [
     "packed_simulate_path_delay",
     "packed_simulate_obd",
     "packed_simulate_shard",
+    "numpy_simulate_stuck_at",
+    "numpy_simulate_transition",
+    "numpy_simulate_path_delay",
+    "numpy_simulate_obd",
     "PACKED_SIMULATORS",
+    "NUMPY_SIMULATORS",
+    "SIMULATOR_BACKENDS",
+    "ENGINE_BACKENDS",
+    "compile_for_engine",
+    "compiled_matches_engine",
     "simulate_with_forced_net",
     "transition_fault_detected",
     "path_delay_fault_detected",

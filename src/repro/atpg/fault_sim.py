@@ -1,15 +1,18 @@
 """Fault simulation for the stuck-at, transition, path-delay and OBD models.
 
-Three engines sit behind one API.  The default is the **packed** bit-parallel
+Four engines sit behind one API.  The default is the **packed** bit-parallel
 engine (:mod:`repro.atpg.parallel_sim`): patterns are simulated hundreds at a
 time over wide bit-vectors by per-circuit generated straight-line code
 (:mod:`repro.logic.compiled`), the good machine is computed once per block
 and shared across all faults, and each fault costs one per-cone kernel call.
-``engine="interp"`` runs the same packed algorithm through the tuple-dispatch
+``engine="numpy"`` runs the same generated code over ``uint64`` ndarray
+words (thousands of patterns per block) with PPSFP fault batching -- the
+fastest engine on large pattern sets, needing the optional numpy dependency.
+``engine="interp"`` runs the packed algorithm through the tuple-dispatch
 interpreter at the legacy 64-bit width -- the in-process baseline the
 generated code is benchmarked against.  The **serial** engine in this module
 re-walks the circuit one (fault, pattern) at a time; it is the executable
-specification both packed variants are property-tested against, and remains
+specification the packed variants are property-tested against, and remains
 available via ``engine="serial"`` for debugging and for cross-checking.
 
 The ``simulate_*`` entry points are thin compatibility wrappers over the
@@ -41,10 +44,12 @@ Pattern = tuple[int, ...]
 PatternPair = tuple[Pattern, Pattern]
 
 #: Engine names accepted by the ``simulate_*`` entry points: ``"packed"``
-#: (generated code, wide words -- the default), ``"interp"`` (the packed
+#: (generated code, wide big-int words -- the default), ``"numpy"``
+#: (generated code over uint64 ndarray words with PPSFP fault batching;
+#: needs the optional numpy dependency), ``"interp"`` (the packed
 #: interpreter baseline at the legacy 64-bit width) and ``"serial"`` (the
 #: one-(fault, pattern)-at-a-time reference).
-ENGINES = ("packed", "interp", "serial")
+ENGINES = ("packed", "numpy", "interp", "serial")
 
 
 def _check_engine(engine: str) -> None:
@@ -113,6 +118,7 @@ def simulate_stuck_at(
     drop_detected: bool = False,
     engine: str = "packed",
     compiled: CompiledCircuit | None = None,
+    word_bits: int | None = None,
 ) -> DetectionReport:
     """Stuck-at fault simulation of a pattern set (packed engine by default).
 
@@ -123,7 +129,7 @@ def simulate_stuck_at(
 
     return get_model("stuck-at").simulate(
         circuit, patterns, faults, drop_detected=drop_detected, engine=engine,
-        compiled=compiled,
+        compiled=compiled, word_bits=word_bits,
     )
 
 
@@ -191,6 +197,7 @@ def simulate_transition(
     drop_detected: bool = False,
     engine: str = "packed",
     compiled: CompiledCircuit | None = None,
+    word_bits: int | None = None,
 ) -> DetectionReport:
     """Transition-fault simulation of a two-pattern test set (packed default).
 
@@ -201,7 +208,7 @@ def simulate_transition(
 
     return get_model("transition").simulate(
         circuit, pairs, faults, drop_detected=drop_detected, engine=engine,
-        compiled=compiled,
+        compiled=compiled, word_bits=word_bits,
     )
 
 
@@ -274,6 +281,7 @@ def simulate_path_delay(
     drop_detected: bool = False,
     engine: str = "packed",
     compiled: CompiledCircuit | None = None,
+    word_bits: int | None = None,
 ) -> DetectionReport:
     """Path-delay fault simulation of a two-pattern test set (packed default).
 
@@ -284,7 +292,7 @@ def simulate_path_delay(
 
     return get_model("path-delay").simulate(
         circuit, pairs, faults, drop_detected=drop_detected, engine=engine,
-        compiled=compiled,
+        compiled=compiled, word_bits=word_bits,
     )
 
 
@@ -360,6 +368,7 @@ def simulate_obd(
     drop_detected: bool = False,
     engine: str = "packed",
     compiled: CompiledCircuit | None = None,
+    word_bits: int | None = None,
 ) -> DetectionReport:
     """OBD fault simulation of a two-pattern test set (packed engine default).
 
@@ -370,7 +379,7 @@ def simulate_obd(
 
     return get_model("obd").simulate(
         circuit, pairs, faults, drop_detected=drop_detected, engine=engine,
-        compiled=compiled,
+        compiled=compiled, word_bits=word_bits,
     )
 
 

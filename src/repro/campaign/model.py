@@ -86,12 +86,16 @@ class FaultModel(Protocol):
         drop_detected: bool = False,
         engine: str = "packed",
         compiled: CompiledCircuit | None = None,
+        word_bits: int | None = None,
     ) -> DetectionReport:
         """Fault-simulate *tests* (in the model's native shape) over *faults*.
 
         *compiled* lets a caller (e.g. the campaign runner) reuse one
         :class:`~repro.logic.compiled.CompiledCircuit` across every phase
         instead of recompiling per call; serial simulation ignores it.
+        *word_bits* overrides the engine's default block width -- a
+        *compiled* circuit of a different width (or engine flavor) is
+        recompiled rather than silently reused.
         """
 
     def generate_test(

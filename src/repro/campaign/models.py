@@ -26,6 +26,9 @@ from ..atpg.fault_sim import (
 )
 from ..atpg.obd_atpg import generate_obd_test
 from ..atpg.parallel_sim import (
+    NUMPY_SIMULATORS,
+    compile_for_engine,
+    compiled_matches_engine,
     packed_simulate_obd,
     packed_simulate_path_delay,
     packed_simulate_stuck_at,
@@ -45,26 +48,34 @@ from ..faults.obd import ObdFault, obd_fault_universe
 from ..faults.path_delay import PathDelayFault, path_delay_universe
 from ..faults.stuck_at import StuckAtFault, stuck_at_universe
 from ..faults.transition import TransitionFault, transition_fault_universe
-from ..logic.compiled import WORD_BITS, CompiledCircuit, compile_circuit
+from ..logic.compiled import CompiledCircuit
 from ..logic.netlist import LogicCircuit
 from .model import SINGLE_PATTERN, TWO_PATTERN, AtpgOutcome, register_model
 
 
-def _dispatch(packed_fn, serial_fn, circuit, tests, faults, drop_detected, engine, compiled):
+def _dispatch(
+    packed_fn, serial_fn, model_name, circuit, tests, faults, drop_detected, engine,
+    compiled, word_bits,
+):
     """Route one simulate() call to the right engine.
 
-    ``"packed"`` and ``"interp"`` both run the bit-parallel algorithm; the
-    difference is the :class:`CompiledCircuit` flavor (generated code at the
-    wide default width vs. the interpreter baseline at the legacy 64-bit
-    width).  A caller-supplied *compiled* circuit is reused as-is when its
-    flavor matches the requested engine, so campaigns compile exactly once.
+    ``"packed"``, ``"numpy"`` and ``"interp"`` all run the bit-parallel
+    algorithm; the difference is the :class:`CompiledCircuit` flavor
+    (backend, codegen, block width -- see
+    :func:`~repro.atpg.parallel_sim.compile_for_engine`).  A caller-supplied
+    *compiled* circuit is reused when its flavor matches the requested
+    engine and *word_bits*, so campaigns compile exactly once; on any
+    mismatch -- including a non-default *word_bits* the prebuilt circuit
+    does not have -- the call recompiles rather than silently simulating at
+    the wrong width or through the wrong engine.
     """
     _check_engine(engine)
     if engine == "serial":
         return serial_fn(circuit, tests, faults, drop_detected=drop_detected)
-    if engine == "interp" and (compiled is None or compiled.codegen):
-        compiled = compile_circuit(circuit, word_bits=WORD_BITS, codegen=False)
-    return packed_fn(circuit, tests, faults, drop_detected=drop_detected, compiled=compiled)
+    if not compiled_matches_engine(compiled, engine, word_bits):
+        compiled = compile_for_engine(circuit, engine, word_bits)
+    fn = NUMPY_SIMULATORS[model_name] if engine == "numpy" else packed_fn
+    return fn(circuit, tests, faults, drop_detected=drop_detected, compiled=compiled)
 
 
 class _StaticHooksMixin:
@@ -111,16 +122,19 @@ class StuckAtModel(_StaticHooksMixin):
         drop_detected: bool = False,
         engine: str = "packed",
         compiled: CompiledCircuit | None = None,
+        word_bits: int | None = None,
     ) -> DetectionReport:
         return _dispatch(
             packed_simulate_stuck_at,
             serial_simulate_stuck_at,
+            self.name,
             circuit,
             tests,
             faults,
             drop_detected,
             engine,
             compiled,
+            word_bits,
         )
 
     #: Structural engine used when a caller does not pick one explicitly.
@@ -169,16 +183,19 @@ class TransitionModel(_StaticHooksMixin):
         drop_detected: bool = False,
         engine: str = "packed",
         compiled: CompiledCircuit | None = None,
+        word_bits: int | None = None,
     ) -> DetectionReport:
         return _dispatch(
             packed_simulate_transition,
             serial_simulate_transition,
+            self.name,
             circuit,
             tests,
             faults,
             drop_detected,
             engine,
             compiled,
+            word_bits,
         )
 
     def prove_untestable(
@@ -234,16 +251,19 @@ class PathDelayModel(_StaticHooksMixin):
         drop_detected: bool = False,
         engine: str = "packed",
         compiled: CompiledCircuit | None = None,
+        word_bits: int | None = None,
     ) -> DetectionReport:
         return _dispatch(
             packed_simulate_path_delay,
             serial_simulate_path_delay,
+            self.name,
             circuit,
             tests,
             faults,
             drop_detected,
             engine,
             compiled,
+            word_bits,
         )
 
     def generate_test(
@@ -297,16 +317,19 @@ class ObdModel(_StaticHooksMixin):
         drop_detected: bool = False,
         engine: str = "packed",
         compiled: CompiledCircuit | None = None,
+        word_bits: int | None = None,
     ) -> DetectionReport:
         return _dispatch(
             packed_simulate_obd,
             serial_simulate_obd,
+            self.name,
             circuit,
             tests,
             faults,
             drop_detected,
             engine,
             compiled,
+            word_bits,
         )
 
     def generate_test(

@@ -25,6 +25,7 @@ from ..analysis_static.untestable import StaticProof
 from ..atpg.compaction import CompactionResult, concat_phase_reports, greedy_compaction
 from ..atpg.coverage import CoverageReport, coverage_from_report
 from ..atpg.fault_sim import DetectionReport, _check_engine
+from ..atpg.parallel_sim import compile_for_engine
 from ..atpg.podem import PodemOptions
 from ..atpg.random_tpg import (
     exhaustive_pairs,
@@ -35,7 +36,7 @@ from ..atpg.random_tpg import (
 )
 from ..atpg.structural import ATPG_ENGINES
 from ..faults.base import FaultList
-from ..logic.compiled import DEFAULT_WORD_BITS, WORD_BITS, CompiledCircuit, compile_circuit
+from ..logic.compiled import HAVE_NUMPY
 from ..logic.netlist import CircuitStats, LogicCircuit, LogicCircuitError
 from .circuits import resolve_circuit
 from .errors import CampaignError
@@ -72,10 +73,14 @@ class CampaignSpec:
     :func:`repro.campaign.circuits.resolve_circuit`.
 
     ``engine`` picks the fault-simulation engine (``"packed"`` generated
-    code, ``"interp"`` packed interpreter baseline, ``"serial"`` reference),
-    and ``word_bits`` overrides its block width (None keeps the engine's
-    default: :data:`~repro.logic.compiled.DEFAULT_WORD_BITS` for packed, 64
-    for interp).  The circuit is compiled once per campaign and the same
+    code over big-int words, ``"numpy"`` generated code over uint64 ndarray
+    words with PPSFP fault batching -- needs the optional numpy dependency,
+    ``pip install repro[numpy]`` -- ``"interp"`` packed interpreter
+    baseline, ``"serial"`` reference), and ``word_bits`` overrides its block
+    width (None keeps the engine's default:
+    :data:`~repro.logic.compiled.DEFAULT_WORD_BITS` for packed,
+    :data:`~repro.logic.compiled.DEFAULT_NUMPY_WORD_BITS` for numpy, 64 for
+    interp).  The circuit is compiled once per campaign and the same
     :class:`~repro.logic.compiled.CompiledCircuit` drives the pattern phase,
     the ATPG top-up re-simulation and everything downstream of them.
 
@@ -129,9 +134,9 @@ class CampaignSpec:
     #: ``retry_backoff * 2**n`` seconds before resubmitting.
     retry_backoff: float = 0.05
     #: After the retry budget is spent, fall back to the next slower engine
-    #: (packed -> interp -> serial; all bit-identical) with a fresh attempt
-    #: budget, recording the degradation in the result's provenance.  Set
-    #: False to fail instead of degrading.
+    #: (numpy -> packed -> interp -> serial; all bit-identical) with a fresh
+    #: attempt budget, recording the degradation in the result's provenance.
+    #: Set False to fail instead of degrading.
     allow_degraded: bool = True
 
     def __post_init__(self) -> None:
@@ -167,6 +172,12 @@ class CampaignSpec:
             _check_engine(self.engine)
         except ValueError as exc:
             raise CampaignError(str(exc)) from None
+        if self.engine == "numpy" and not HAVE_NUMPY:
+            raise CampaignError(
+                "engine='numpy' requires the optional numpy dependency "
+                "(pip install 'repro[numpy]'); fall back to engine='packed' "
+                "for the big-int backend of the same generated-code engine"
+            )
         if self.atpg_engine not in ATPG_ENGINES:
             raise CampaignError(
                 f"unknown ATPG engine {self.atpg_engine!r}; expected one of "
@@ -547,19 +558,8 @@ def resolve_campaign_circuit(
         raise CampaignError(str(exc)) from None
 
 
-def compile_for_engine(
-    circuit: LogicCircuit, engine: str, word_bits: int | None
-) -> CompiledCircuit | None:
-    """One compile per campaign (or per worker process) for the spec's engine.
-
-    Codegen for ``"packed"``, the interpreter baseline at the legacy width
-    for ``"interp"``; the serial engine needs no compiled circuit at all.
-    """
-    if engine == "serial":
-        return None
-    codegen = engine == "packed"
-    bits = word_bits or (DEFAULT_WORD_BITS if codegen else WORD_BITS)
-    return compile_circuit(circuit, word_bits=bits, codegen=codegen)
+# compile_for_engine is re-exported here for backwards compatibility: it now
+# lives beside the engine-backend registry in repro.atpg.parallel_sim.
 
 
 def collapse_universe(
@@ -797,8 +797,9 @@ class Campaign:
         lint = run_lint_gate(circuit) if spec.static_phase else None
 
         # One compile per campaign: every phase's fault simulation reuses the
-        # same CompiledCircuit (codegen for "packed", interpreter baseline at
-        # the legacy width for "interp"; the serial engine needs none).
+        # same CompiledCircuit (codegen over big-int or ndarray words for
+        # "packed"/"numpy", interpreter baseline at the legacy width for
+        # "interp"; the serial engine needs none).
         compiled = compile_for_engine(circuit, spec.engine, spec.word_bits)
 
         universe = model.build_universe(circuit, **spec.universe_options)
@@ -817,7 +818,7 @@ class Campaign:
             tests = self.patterns_for(circuit)
             report = model.simulate(
                 circuit, tests, faults, drop_detected=spec.drop_detected,
-                engine=spec.engine, compiled=compiled,
+                engine=spec.engine, compiled=compiled, word_bits=spec.word_bits,
             )
             pattern_phase = PatternPhaseResult(
                 source=spec.pattern_source,
@@ -847,7 +848,7 @@ class Campaign:
                 sim_faults = faults
             report = model.simulate(
                 circuit, atpg_tests, sim_faults, drop_detected=spec.drop_detected,
-                engine=spec.engine, compiled=compiled,
+                engine=spec.engine, compiled=compiled, word_bits=spec.word_bits,
             )
             atpg_phase = build_atpg_phase(
                 model.name,

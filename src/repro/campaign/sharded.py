@@ -243,8 +243,10 @@ def _shard_resimulate(
 #: Engine-degradation ladder: after a shard's retry budget is spent the
 #: executor may fall back one rung and try again.  Every engine is
 #: property-tested bit-identical to the others, so degradation can change
-#: only runtime, never the result.
-DEGRADE_FALLBACK = {"packed": "interp", "interp": "serial"}
+#: only runtime, never the result.  The numpy backend falls back to the
+#: big-int backend of the same generated code, which needs no optional
+#: dependency at all.
+DEGRADE_FALLBACK = {"numpy": "packed", "packed": "interp", "interp": "serial"}
 
 
 @dataclass

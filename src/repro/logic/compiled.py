@@ -11,6 +11,23 @@ patterns per pass, amortizing the per-op overhead that dominates a pure-Python
 engine (:data:`WORD_BITS` remains the legacy 64-bit convention of the
 interpreter baseline).
 
+The packed *word type* is abstract: the generated code only ever applies
+``& | ^ ~`` to already-masked operands, so the same straight-line source runs
+over two interchangeable **backends** (:data:`BACKENDS`):
+
+* ``backend="int"`` (default) -- arbitrary-precision Python ints, the
+  reference backend described above;
+* ``backend="numpy"`` -- little-endian ``uint64`` NumPy arrays of
+  ``ceil(word_bits / 64)`` elements, where every bitwise op is one
+  vectorized ufunc call.  Per-op Python overhead is then amortized over the
+  whole array instead of per big-int limb, which is what lets the numpy
+  engine default to much wider blocks (:data:`DEFAULT_NUMPY_WORD_BITS`).
+  Cone kernels additionally accept a *stacked* ``(g, n_words)`` forced
+  array and broadcast the whole cone re-simulation across a fault group in
+  one pass (PPSFP batching -- see :mod:`repro.atpg.parallel_sim`).
+  NumPy is an optional dependency (``pip install repro[numpy]``); the
+  backend raises :class:`LogicCircuitError` when requested without it.
+
 Two evaluation strategies sit behind one API:
 
 * **codegen** (default) -- at compile time the op list is turned into the
@@ -36,10 +53,18 @@ the set bits of a detection word back to pattern indices.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from .gates import GateType
 from .netlist import LogicCircuit, LogicCircuitError
+
+try:  # Optional dependency: the "numpy" word backend.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via HAVE_NUMPY monkeypatching
+    _np = None
+
+#: Whether the optional NumPy word backend is importable in this process.
+HAVE_NUMPY = _np is not None
 
 #: Default number of patterns packed into one word of the engine.  Wider than
 #: a machine word on purpose: per-op Python overhead, not bit-width, bounds
@@ -51,6 +76,29 @@ DEFAULT_WORD_BITS = 512
 #: The legacy fixed block width of the interpreter engine (what a C engine
 #: would use); kept as the baseline convention for benchmarks and tests.
 WORD_BITS = 64
+
+#: Default block width of the numpy backend.  Vectorized ufuncs have a fixed
+#: per-call cost but stream the array body at near memory bandwidth, so --
+#: unlike big ints, whose limb loop makes >1024-bit words a wash -- the numpy
+#: sweet spot is much wider: thousands of patterns per pass.
+DEFAULT_NUMPY_WORD_BITS = 16384
+
+#: Registered packed word backends: ``"int"`` (arbitrary-precision Python
+#: ints, the reference) and ``"numpy"`` (uint64 ndarrays, optional).
+BACKENDS = ("int", "numpy")
+
+
+def _check_backend(backend: str) -> None:
+    if backend not in BACKENDS:
+        raise LogicCircuitError(
+            f"unknown packed word backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "numpy" and not HAVE_NUMPY:
+        raise LogicCircuitError(
+            "the numpy word backend requires the optional numpy dependency "
+            "(pip install 'repro[numpy]'); use the int-backend engines "
+            "('packed'/'interp'/'serial') without it"
+        )
 
 # Flat op codes; variadic gate types (AND2/AND3, ...) share one code and are
 # distinguished by their input count alone.
@@ -77,28 +125,34 @@ _OPCODES: dict[GateType, int] = {
 Op = tuple[int, int, tuple[int, ...]]
 
 
-def _run_ops(ops: Sequence[Op], values: list[int], mask: int) -> None:
-    """Interpreter baseline: evaluate *ops* in place over packed words."""
+def _run_ops(ops: Sequence[Op], values: list, mask) -> None:
+    """Interpreter baseline: evaluate *ops* in place over packed words.
+
+    Generic over the word backend: operands only ever see ``& | ^ ~``, so the
+    same loop runs over Python ints and numpy uint64 arrays.  The reductions
+    deliberately rebind (``word = word & ...``) instead of augmenting in
+    place, which would mutate a shared ndarray operand.
+    """
     for code, out, ins in ops:
         if code == _NAND:
             word = values[ins[0]]
             for index in ins[1:]:
-                word &= values[index]
+                word = word & values[index]
             word = ~word & mask
         elif code == _INV:
             word = ~values[ins[0]] & mask
         elif code == _AND:
             word = values[ins[0]]
             for index in ins[1:]:
-                word &= values[index]
+                word = word & values[index]
         elif code == _OR:
             word = values[ins[0]]
             for index in ins[1:]:
-                word |= values[index]
+                word = word | values[index]
         elif code == _NOR:
             word = values[ins[0]]
             for index in ins[1:]:
-                word |= values[index]
+                word = word | values[index]
             word = ~word & mask
         elif code == _XOR:
             word = values[ins[0]] ^ values[ins[1]]
@@ -111,6 +165,51 @@ def _run_ops(ops: Sequence[Op], values: list[int], mask: int) -> None:
         else:  # _BUF
             word = values[ins[0]]
         values[out] = word
+
+
+def _op_value(code: int, ins: tuple[int, ...], values: list, mask):
+    """One op's output word, same dispatch as :func:`_run_ops`.
+
+    Split out so :meth:`CompiledCircuit.batch_cone_detect` can interleave op
+    evaluation with per-row fault clamping; the interpreter loop keeps its
+    own inlined copy to avoid a per-gate call on its hot path.
+
+    Inverting gates complement via ``word ^ mask`` rather than
+    ``~word & mask``: every operand keeps its pad bits zero (the packing
+    invariant), so the two are equal and the xor saves one full array pass
+    per inverting op on the batched hot path.
+    """
+    if code == _NAND:
+        word = values[ins[0]]
+        for index in ins[1:]:
+            word = word & values[index]
+        return word ^ mask
+    if code == _INV:
+        return values[ins[0]] ^ mask
+    if code == _AND:
+        word = values[ins[0]]
+        for index in ins[1:]:
+            word = word & values[index]
+        return word
+    if code == _OR:
+        word = values[ins[0]]
+        for index in ins[1:]:
+            word = word | values[index]
+        return word
+    if code == _NOR:
+        word = values[ins[0]]
+        for index in ins[1:]:
+            word = word | values[index]
+        return word ^ mask
+    if code == _XOR:
+        return values[ins[0]] ^ values[ins[1]]
+    if code == _XNOR:
+        return values[ins[0]] ^ values[ins[1]] ^ mask
+    if code == _AOI21:
+        return ((values[ins[0]] & values[ins[1]]) | values[ins[2]]) ^ mask
+    if code == _OAI21:
+        return ((values[ins[0]] | values[ins[1]]) & values[ins[2]]) ^ mask
+    return values[ins[0]]  # _BUF
 
 
 def _op_expression(code: int, names: Sequence[str]) -> str:
@@ -153,7 +252,11 @@ class CompiledCircuit:
 
     ``word_bits`` sets the block width every evaluation of this instance
     uses; ``codegen=False`` selects the interpreter baseline instead of the
-    generated straight-line code.
+    generated straight-line code.  ``backend`` picks the packed word type
+    (:data:`BACKENDS`): the evaluator itself is backend-agnostic -- the same
+    compiled source runs over ints and uint64 arrays -- but drivers use the
+    declared backend to pick pack/decode helpers and mask representation, so
+    a compiled instance is only valid for engines of the same backend.
     """
 
     def __init__(
@@ -161,11 +264,17 @@ class CompiledCircuit:
         circuit: LogicCircuit,
         word_bits: int = DEFAULT_WORD_BITS,
         codegen: bool = True,
+        backend: str = "int",
     ):
         _check_word_bits(word_bits)
+        _check_backend(backend)
         self.circuit = circuit
         self.word_bits = word_bits
         self.codegen = codegen
+        self.backend = backend
+        #: uint64 array length holding one full ``word_bits``-wide block
+        #: (ragged final blocks use shorter arrays sized to the actual mask).
+        self.num_words = (word_bits + 63) >> 6
         order = circuit.topological_order()
 
         #: Net name -> dense id; primary inputs first, then gate outputs in
@@ -197,6 +306,12 @@ class CompiledCircuit:
             for index in set(ins):
                 self._loads.setdefault(index, []).append(position)
         self._cones: dict[int, tuple[tuple[Op, ...], tuple[int, ...]]] = {}
+        self._cone_positions: dict[int, tuple[int, ...]] = {}
+        self._cone_masks: dict[int, int] = {}
+        #: Net id -> op-list position of its driver (absent for primary inputs).
+        self._driver_position: dict[int, int] = {
+            out: position for position, (_code, out, _ins) in enumerate(self.ops)
+        }
         self._eval_fn: Callable[[Sequence[int], int], list[int]] | None = (
             self._compile_evaluate() if codegen else None
         )
@@ -266,14 +381,14 @@ class CompiledCircuit:
         _run_ops(self.ops, values, mask)
         return values
 
-    def cone(self, net_index: int) -> tuple[tuple[Op, ...], tuple[int, ...]]:
-        """Fan-out cone of a net: (ops to re-evaluate, reachable output ids).
+    def cone_positions(self, net_index: int) -> tuple[int, ...]:
+        """Op-list positions of a net's fan-out cone, in topological order.
 
-        The op slice excludes the driver of the net itself (the net stays
-        clamped during forced re-simulation) and is in topological order; the
-        output ids include the net when it is itself a primary output.
+        Excludes the driver of the net itself (the net stays clamped during
+        forced re-simulation).  Cached per net; :meth:`union_cone` merges
+        these position tuples to batch faults on different nets.
         """
-        cached = self._cones.get(net_index)
+        cached = self._cone_positions.get(net_index)
         if cached is not None:
             return cached
         positions: set[int] = set()
@@ -284,12 +399,65 @@ class CompiledCircuit:
                 continue
             positions.add(position)
             stack.extend(self._loads.get(self.ops[position][1], ()))
-        ops = tuple(self.ops[p] for p in sorted(positions))
+        result = tuple(sorted(positions))
+        self._cone_positions[net_index] = result
+        return result
+
+    def cone_mask(self, net_index: int) -> int:
+        """Interference bitmask of a fault site, for PPSFP row packing.
+
+        Covers the site's cone op positions, its own driver op, and a
+        site-identity bit past the op range.  Two sites may share a batch
+        row in :meth:`batch_cone_detect` only when their masks are disjoint:
+        then neither fault can reach, rewrite, or clamp any net the other's
+        detection depends on, so one stacked row simulates both faults with
+        zero interference.
+        """
+        cached = self._cone_masks.get(net_index)
+        if cached is None:
+            cached = 1 << (len(self.ops) + net_index)
+            for position in self.cone_positions(net_index):
+                cached |= 1 << position
+            driver = self._driver_position.get(net_index)
+            if driver is not None:
+                cached |= 1 << driver
+            self._cone_masks[net_index] = cached
+        return cached
+
+    def cone(self, net_index: int) -> tuple[tuple[Op, ...], tuple[int, ...]]:
+        """Fan-out cone of a net: (ops to re-evaluate, reachable output ids).
+
+        The op slice excludes the driver of the net itself (the net stays
+        clamped during forced re-simulation) and is in topological order; the
+        output ids include the net when it is itself a primary output.
+        """
+        cached = self._cones.get(net_index)
+        if cached is not None:
+            return cached
+        ops = tuple(self.ops[p] for p in self.cone_positions(net_index))
         cone_nets = {net_index} | {op[1] for op in ops}
         outputs = tuple(i for i in self.output_indices if i in cone_nets)
         result = (ops, outputs)
         self._cones[net_index] = result
         return result
+
+    def union_cone(
+        self, net_indices: Iterable[int]
+    ) -> tuple[tuple[Op, ...], tuple[int, ...]]:
+        """Merged fan-out cone of several nets: (ops, reachable output ids).
+
+        The op slice is the union of the per-net cones in topological order;
+        outputs are every primary output any of the nets can reach.  This is
+        the evaluation scope of one PPSFP batch (:meth:`batch_cone_detect`).
+        """
+        sites = set(net_indices)
+        positions: set[int] = set()
+        for index in sites:
+            positions.update(self.cone_positions(index))
+        ops = tuple(self.ops[p] for p in sorted(positions))
+        cone_nets = sites | {op[1] for op in ops}
+        outputs = tuple(i for i in self.output_indices if i in cone_nets)
+        return ops, outputs
 
     def evaluate_forced(
         self,
@@ -347,6 +515,90 @@ class CompiledCircuit:
             self._diff_kernels[net_index] = kernel
         return kernel
 
+    def batch_cone_detect(self, base_values, sites, forced_rows, mask, rows=None):
+        """PPSFP batch detection: one union-cone pass over stacked array rows.
+
+        Numpy-backend only.  ``sites[g]`` is the clamped net of fault *g* and
+        ``forced_rows[g]`` its ``(num_words,)`` forced word; *base_values* is
+        the good machine of the block (:meth:`evaluate`).  The union cone of
+        every site is re-evaluated once over ``(n_rows, num_words)`` stacked
+        arrays -- rows ride the ufunc batch axis, so the per-op dispatch cost
+        is paid once per *batch*, not once per fault.  Each clamped net is
+        re-forced after any op that rewrites it, and a row whose site lies
+        outside another row's cone just reproduces the base values there.
+
+        *rows*, when given, assigns each fault to a batch row; faults whose
+        :meth:`cone_mask` bitmasks are disjoint may share a row, which is
+        what keeps shallow circuits (many small non-overlapping cones) from
+        paying a full union-width row per fault.  Detection is attributed
+        per fault from per-output diff words -- a fault only ORs the outputs
+        its *own* cone reaches, so row-mates cannot leak detections into
+        each other.  Returns the ``(len(sites), num_words)`` detection
+        array: row *g* = OR over fault *g*'s reachable outputs of
+        ``faulty ^ base``.
+        """
+        num_words = len(mask)
+        if rows is None:
+            rows = range(len(sites))
+            group = len(sites)
+        else:
+            group = (max(rows) + 1) if sites else 0
+        detected = _np.zeros((len(sites), num_words), dtype=mask.dtype)
+        if not sites:
+            return detected
+        ops, outputs = self.union_cone(sites)
+        clamp: dict[int, tuple[list[int], list]] = {}
+        for row, site, forced in zip(rows, sites, forced_rows):
+            clamp_rows, words = clamp.setdefault(site, ([], []))
+            clamp_rows.append(row)
+            words.append(forced)
+        values = list(base_values)
+        for site, (clamp_rows, words) in clamp.items():
+            stacked = _np.broadcast_to(values[site], (group, num_words)).copy()
+            stacked[clamp_rows] = words
+            values[site] = stacked
+        for code, out, ins in ops:
+            word = _op_value(code, ins, values, mask)
+            entry = clamp.get(out)
+            if entry is not None:
+                # A clamped site rewritten inside another site's cone: force
+                # its rows again (copy first -- the op result may alias an
+                # operand, e.g. a buffer).
+                clamp_rows, words = entry
+                word = _np.broadcast_to(word, (group, num_words)).copy()
+                word[clamp_rows] = words
+            values[out] = word
+        # Diff each changed union output once, then attribute: fault g ORs
+        # the diffs of its own cone's outputs at its row, via one fancy
+        # gather + segmented bitwise_or.reduceat pass.
+        slot: dict[int, int] = {}
+        diffs = []
+        for index in outputs:
+            word = values[index]
+            if word is not base_values[index]:
+                slot[index] = len(diffs)
+                diffs.append(word ^ base_values[index])
+        if not diffs:
+            return detected
+        stacked_diffs = _np.stack(diffs)
+        pair_slots: list[int] = []
+        pair_rows: list[int] = []
+        starts: list[int] = []
+        covered: list[int] = []
+        for g, (site, row) in enumerate(zip(sites, rows)):
+            outs = [slot[o] for o in self.cone(site)[1] if o in slot]
+            if not outs:
+                continue
+            covered.append(g)
+            starts.append(len(pair_slots))
+            pair_slots.extend(outs)
+            pair_rows.extend([row] * len(outs))
+        if not covered:
+            return detected
+        gathered = stacked_diffs[pair_slots, pair_rows]
+        detected[covered] = _np.bitwise_or.reduceat(gathered, starts, axis=0)
+        return detected
+
     def cone_diff(
         self,
         base_values: Sequence[int],
@@ -368,9 +620,10 @@ def compile_circuit(
     circuit: LogicCircuit,
     word_bits: int = DEFAULT_WORD_BITS,
     codegen: bool = True,
+    backend: str = "int",
 ) -> CompiledCircuit:
     """Levelize *circuit* into a :class:`CompiledCircuit`."""
-    return CompiledCircuit(circuit, word_bits=word_bits, codegen=codegen)
+    return CompiledCircuit(circuit, word_bits=word_bits, codegen=codegen, backend=backend)
 
 
 # --------------------------------------------------------------------------- #
@@ -467,3 +720,162 @@ def decode_into(out: list[int], word: int, base: int) -> None:
             offset = base + (position << 3)
             for bit in _BYTE_BITS[byte]:
                 append(offset + bit)
+
+
+# --------------------------------------------------------------------------- #
+# NumPy backend: uint64-array words.
+# --------------------------------------------------------------------------- #
+# Arrays use the explicit little-endian dtype "<u8" with bit i of element j
+# holding pattern ``j * 64 + i`` of the block, so an array's byte stream is
+# exactly the little-endian byte stream of the equivalent big-int word --
+# int_to_words / words_to_int convert by reinterpreting bytes, never by
+# shifting, and the two backends' detection words are bit-identical by
+# construction.
+
+#: Little-endian uint64, the element dtype of every numpy-backend word array.
+WORD_DTYPE = "<u8"
+
+
+def num_words_for(mask_bits: int) -> int:
+    """uint64 elements needed for a block of *mask_bits* patterns (>= 1)."""
+    return max(1, (mask_bits + 63) >> 6)
+
+
+def int_to_words(word: int, num_words: int) -> "Any":
+    """Big-int packed word -> little-endian ``(num_words,)`` uint64 array."""
+    return _np.frombuffer(
+        word.to_bytes(num_words * 8, "little"), dtype=WORD_DTYPE
+    ).copy()
+
+
+def words_to_int(words: "Any") -> int:
+    """Inverse of :func:`int_to_words`."""
+    return int.from_bytes(_np.ascontiguousarray(words, dtype=WORD_DTYPE).tobytes(), "little")
+
+
+def _pack_matrix(matrix: "Any", num_words: int) -> "Any":
+    """Pack a ``(num_inputs, block_len)`` 0/1 uint8 matrix into word arrays.
+
+    Returns a ``(num_inputs, num_words)`` uint64 array: row *p* is the packed
+    word of primary input *p*, bit *i* of the row carrying pattern *i*.
+    """
+    packed = _np.packbits(matrix, axis=1, bitorder="little")
+    padded = _np.zeros((matrix.shape[0], num_words * 8), dtype=_np.uint8)
+    padded[:, : packed.shape[1]] = packed
+    return padded.view(WORD_DTYPE)
+
+
+def _block_matrix(block: Sequence[Sequence[int]], base: int, num_inputs: int) -> "Any":
+    """Validate one block of patterns into a ``(num_inputs, len(block))`` matrix."""
+    # Bulk-convert the whole block in one C call when it is well-formed;
+    # fall back to the per-pattern loop only to localize the bad pattern in
+    # the error message.
+    matrix = None
+    try:
+        candidate = _np.asarray(block, dtype=_np.uint8)
+        if candidate.ndim == 2 and candidate.shape == (len(block), num_inputs):
+            matrix = candidate
+    except (ValueError, TypeError, OverflowError):
+        matrix = None
+    if matrix is None:
+        matrix = _np.empty((len(block), num_inputs), dtype=_np.uint8)
+        for bit, pattern in enumerate(block):
+            if len(pattern) != num_inputs:
+                raise LogicCircuitError(
+                    f"pattern {base + bit} has {len(pattern)} bits, expected {num_inputs}"
+                )
+            try:
+                matrix[bit] = pattern
+            except (ValueError, TypeError, OverflowError) as exc:
+                raise LogicCircuitError(
+                    f"pattern {base + bit} is not a 0/1 vector: {exc}"
+                ) from exc
+    bad = _np.argwhere(matrix > 1)
+    if bad.size:
+        row, position = (int(v) for v in bad[0])
+        raise LogicCircuitError(
+            f"pattern {base + row} bit {position} must be 0 or 1, "
+            f"got {int(matrix[row, position])!r}"
+        )
+    return matrix.T
+
+
+def mask_words(block_len: int, num_words: int) -> "Any":
+    """Block mask as a word array: bits ``0..block_len-1`` set, rest clear."""
+    mask = _np.zeros(num_words, dtype=WORD_DTYPE)
+    full, rem = divmod(block_len, 64)
+    mask[:full] = _np.uint64(0xFFFFFFFFFFFFFFFF)
+    if rem:
+        mask[full] = _np.uint64((1 << rem) - 1)
+    return mask
+
+
+def pack_pattern_blocks_array(
+    patterns: Sequence[Sequence[int]],
+    num_inputs: int,
+    word_bits: int = DEFAULT_NUMPY_WORD_BITS,
+) -> Iterator[tuple[int, "Any", "Any"]]:
+    """Array counterpart of :func:`pack_pattern_blocks`.
+
+    Yields ``(base, mask_words, input_words)`` where ``mask_words`` is the
+    ``(num_words,)`` block mask and ``input_words`` a ``(num_inputs,
+    num_words)`` uint64 array (row *p* = packed word of input *p*).  Ragged
+    final blocks get arrays sized to the actual block, not ``word_bits``, so
+    short blocks waste no lanes.
+    """
+    _check_word_bits(word_bits)
+    _check_backend("numpy")
+    for base in range(0, len(patterns), word_bits):
+        block = patterns[base : base + word_bits]
+        num_words = num_words_for(len(block))
+        matrix = _block_matrix(block, base, num_inputs)
+        yield base, mask_words(len(block), num_words), _pack_matrix(matrix, num_words)
+
+
+def pack_pair_blocks_array(
+    pairs: Sequence[tuple[Sequence[int], Sequence[int]]],
+    num_inputs: int,
+    word_bits: int = DEFAULT_NUMPY_WORD_BITS,
+) -> Iterator[tuple[int, "Any", "Any", "Any"]]:
+    """Array counterpart of :func:`pack_pair_blocks`.
+
+    Yields ``(base, mask_words, first_words, second_words)``.
+    """
+    _check_word_bits(word_bits)
+    _check_backend("numpy")
+    for base in range(0, len(pairs), word_bits):
+        block = pairs[base : base + word_bits]
+        num_words = num_words_for(len(block))
+        first = _block_matrix([pair[0] for pair in block], base, num_inputs)
+        second = _block_matrix([pair[1] for pair in block], base, num_inputs)
+        yield (
+            base,
+            mask_words(len(block), num_words),
+            _pack_matrix(first, num_words),
+            _pack_matrix(second, num_words),
+        )
+
+
+def decode_words_into(out: list[int], words: "Any", base: int) -> None:
+    """Array counterpart of :func:`decode_into` for one detection word array.
+
+    Vectorized: view the little-endian uint64 words as a byte stream, unpack
+    to one bit per pattern lane, and read the set positions off in a single
+    C pass -- decode cost is what separates the array backend from the
+    big-int engine on dense detection words, where per-bit Python decoding
+    would dominate the whole simulation.
+    """
+    if not _np.any(words):
+        return
+    bits = _np.unpackbits(
+        _np.ascontiguousarray(words, dtype=WORD_DTYPE).view(_np.uint8),
+        bitorder="little",
+    )
+    out.extend((_np.flatnonzero(bits) + base).tolist())
+
+
+def first_set_bit(words: "Any") -> int:
+    """Bit index of the lowest set bit of a nonzero word array."""
+    position = int(_np.flatnonzero(words)[0])
+    word = int(words[position])
+    return (position << 6) + (word & -word).bit_length() - 1

@@ -326,11 +326,12 @@ class TestCodegen:
 # all four fault models, including ragged final blocks and fault dropping.
 # --------------------------------------------------------------------------- #
 #: 130 tests make ragged final blocks at 64 (2 full + 2 left) and 1000
-#: (one short block), and 130 single-pattern blocks at width 1.
+#: (one short block), and 130 single-pattern blocks at width 1.  Width 63
+#: exercises block lengths that are not byte multiples in the decode tables.
 _PARITY_TESTS = 130
 
 
-@pytest.mark.parametrize("word_bits", [1, 64, 256, 1000])
+@pytest.mark.parametrize("word_bits", [1, 63, 64, 256, 1000])
 @pytest.mark.parametrize("drop", [False, True])
 def test_engine_parity_all_models_across_widths(word_bits, drop):
     circuit = random_circuit(97, 5, 18)
